@@ -1,0 +1,129 @@
+// Command gridsim regenerates the paper's evaluation artifacts: every
+// figure of Toporkov (PaCT 2009) plus the §5 policy claims and two design
+// ablations. See EXPERIMENTS.md for the experiment index and the
+// paper-vs-measured record.
+//
+// Usage:
+//
+//	gridsim -exp all                 # run everything at default scale
+//	gridsim -exp fig3a -jobs 12000   # the paper's full corpus size
+//	gridsim -exp fig4c -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (comma-separated), or all; see -list")
+		jobs = flag.Int("jobs", 1000, "corpus size for the statistical experiments (the paper used >12000 for fig3)")
+		seed = flag.Uint64("seed", 1, "deterministic seed")
+		list = flag.Bool("list", false, "list the experiment ids and what they regenerate")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (see DESIGN.md §4 and EXPERIMENTS.md):")
+		for _, row := range [][2]string{
+			{"fig2", "E1: the §3 worked example — critical works, distributions, collision"},
+			{"fig3a", "E2: % admissible application-level schedules per strategy"},
+			{"fig3b", "E3: collision split across fast/slow nodes"},
+			{"fig4a", "E4: node load level by performance group under job flows"},
+			{"fig4b", "E5: relative job cost and task execution time"},
+			{"fig4c", "E6: strategy time-to-live and start deviation"},
+			{"policies", "E7: local batch policies (§5 claims)"},
+			{"ablation-collision", "E8: economic reallocation vs pinned-node delay"},
+			{"ablation-levels", "E9: S1 vs MS1 generation expense and coverage"},
+			{"comparison", "E10: critical works vs min-min/max-min/sufferage/OLB"},
+			{"local-passing", "E11: advance reservations vs queued local passing"},
+		} {
+			fmt.Printf("  %-20s %s\n", row[0], row[1])
+		}
+		return
+	}
+
+	runners := map[string]func() (*experiments.Report, error){
+		"fig2": experiments.Fig2,
+		"fig3a": func() (*experiments.Report, error) {
+			return experiments.Fig3a(experiments.DefaultFig3(*seed, *jobs))
+		},
+		"fig3b": func() (*experiments.Report, error) {
+			return experiments.Fig3b(experiments.DefaultFig3(*seed, *jobs))
+		},
+		"fig4a": func() (*experiments.Report, error) {
+			return experiments.Fig4a(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+		},
+		"fig4b": func() (*experiments.Report, error) {
+			return experiments.Fig4b(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+		},
+		"fig4c": func() (*experiments.Report, error) {
+			return experiments.Fig4c(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+		},
+		"policies": func() (*experiments.Report, error) {
+			return experiments.Policies(experiments.DefaultPolicies(*seed, *jobs))
+		},
+		"ablation-collision": func() (*experiments.Report, error) {
+			return experiments.AblationCollision(experiments.DefaultFig3(*seed, ablationScale(*jobs)))
+		},
+		"ablation-levels": func() (*experiments.Report, error) {
+			return experiments.AblationLevels(experiments.DefaultAblationLevels(*seed, ablationScale(*jobs)))
+		},
+		"comparison": func() (*experiments.Report, error) {
+			return experiments.Comparison(experiments.DefaultFig3(*seed, ablationScale(*jobs)))
+		},
+		"local-passing": func() (*experiments.Report, error) {
+			return experiments.LocalPassing(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+		},
+	}
+	order := []string{"fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c",
+		"policies", "ablation-collision", "ablation-levels", "comparison", "local-passing"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "gridsim: unknown experiment %q (have %s, all)\n", id, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+	for _, id := range selected {
+		rep, err := runners[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if _, err := rep.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// fig4Scale caps the flow length: the VO experiment is an order of
+// magnitude heavier per job than the application-level corpus.
+func fig4Scale(jobs int) int {
+	if jobs > 400 {
+		return 400
+	}
+	return jobs
+}
+
+// ablationScale caps the ablation corpora similarly.
+func ablationScale(jobs int) int {
+	if jobs > 2000 {
+		return 2000
+	}
+	return jobs
+}

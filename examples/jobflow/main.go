@@ -1,0 +1,92 @@
+// Jobflow demonstrates the full Fig. 1 hierarchy: a metascheduler
+// distributing three user job flows — each with its own strategy family,
+// like the Si/Sj/Sk flows of the figure — across domain job managers,
+// under dynamic background load that evicts planned schedules and triggers
+// supporting-schedule fallback and inter-domain reallocation.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/criticalworks"
+	"repro/internal/metasched"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := workload.Default(42)
+	cfg.DeadlineFactor = 1.8
+	cfg.MeanInterarrival = 20
+	gen := workload.New(cfg)
+	env := gen.Environment(3)
+	engine := sim.New()
+
+	fmt.Printf("environment: %d nodes in %d domains\n", env.NumNodes(), len(env.Domains()))
+	for _, dom := range env.Domains() {
+		fmt.Printf("  %s: %d nodes\n", dom, len(env.ByDomain(dom)))
+	}
+
+	vo := metasched.NewVO(engine, env, metasched.Config{
+		ExternalMeanGap: 10,
+		ExternalLead:    6,
+		ExternalDurLo:   8,
+		ExternalDurHi:   20,
+		ExternalUntil:   1500,
+		Objective:       criticalworks.MinCost,
+		Seed:            42,
+	})
+
+	// Three flows with distinct strategy families, as in Fig. 1.
+	flows := []struct {
+		typ strategy.Type
+		n   int
+	}{{strategy.S1, 25}, {strategy.S2, 25}, {strategy.S3, 25}}
+	for stream, f := range flows {
+		for _, a := range gen.Flow(stream, f.n, 0) {
+			vo.Submit(a.Job, f.typ, a.At)
+		}
+	}
+	end := engine.Run()
+
+	// QoS report per flow.
+	type agg struct {
+		completed, rejected, fallbacks, reallocs int
+		cost                                     float64
+	}
+	byType := map[strategy.Type]*agg{}
+	for _, r := range vo.Results() {
+		a := byType[r.Type]
+		if a == nil {
+			a = &agg{}
+			byType[r.Type] = a
+		}
+		a.fallbacks += r.Fallbacks
+		a.reallocs += r.Reallocations
+		if r.State == metasched.StateCompleted {
+			a.completed++
+			a.cost += r.Cost
+		} else {
+			a.rejected++
+		}
+	}
+	fmt.Printf("\nQoS report after %d ticks:\n", end)
+	fmt.Printf("  %-5s %10s %9s %10s %9s %10s\n", "flow", "completed", "rejected", "fallbacks", "reallocs", "mean-cost")
+	for _, f := range flows {
+		a := byType[f.typ]
+		mean := 0.0
+		if a.completed > 0 {
+			mean = a.cost / float64(a.completed)
+		}
+		fmt.Printf("  %-5s %10d %9d %10d %9d %10.1f\n",
+			f.typ, a.completed, a.rejected, a.fallbacks, a.reallocs, mean)
+	}
+
+	load := vo.NodeLoad(simtime.Interval{Start: 0, End: end + 1})
+	fmt.Println("\nnode load by performance group (jobs only, externals excluded):")
+	for g, v := range load {
+		fmt.Printf("  %-7v %5.1f%%\n", g, 100*v)
+	}
+}

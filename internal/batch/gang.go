@@ -1,0 +1,135 @@
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// Gang is a time-sharing gang scheduler (§5 names it among the local
+// scheduling alternatives): jobs are packed into slots — groups whose node
+// demand fits the machine — and the machine round-robins whole slots with
+// a fixed quantum. Every job is admitted immediately (no queue wait); the
+// price is dilated completion when many slots share the machine.
+type Gang struct {
+	engine  *sim.Engine
+	nodes   int
+	quantum simtime.Time
+
+	slots    [][]*gangJob
+	active   int
+	ticking  bool
+	outcomes []Outcome
+}
+
+type gangJob struct {
+	req      Request
+	arrival  simtime.Time
+	started  bool
+	start    simtime.Time
+	progress simtime.Time // accumulated execution time
+}
+
+// NewGang creates a gang scheduler with the given machine size and
+// time-slice quantum.
+func NewGang(engine *sim.Engine, nodes int, quantum simtime.Time) *Gang {
+	if nodes <= 0 || quantum <= 0 {
+		panic(fmt.Sprintf("batch: gang with %d nodes, quantum %d", nodes, quantum))
+	}
+	return &Gang{engine: engine, nodes: nodes, quantum: quantum}
+}
+
+// Name implements System.
+func (g *Gang) Name() string { return "gang" }
+
+// Outcomes implements System.
+func (g *Gang) Outcomes() []Outcome { return append([]Outcome(nil), g.outcomes...) }
+
+// SlotCount returns the current number of gang slots.
+func (g *Gang) SlotCount() int { return len(g.slots) }
+
+// Submit implements System: the job joins the first slot with room for its
+// node demand, or opens a new slot.
+func (g *Gang) Submit(r Request) {
+	if r.Nodes <= 0 || r.Nodes > g.nodes {
+		panic(fmt.Sprintf("batch: gang request %q wants %d of %d nodes", r.ID, r.Nodes, g.nodes))
+	}
+	if r.Runtime <= 0 {
+		panic(fmt.Sprintf("batch: gang request %q has non-positive runtime", r.ID))
+	}
+	j := &gangJob{req: r, arrival: g.engine.Now()}
+	placed := false
+	for i := range g.slots {
+		if g.slotDemand(i)+r.Nodes <= g.nodes {
+			g.slots[i] = append(g.slots[i], j)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		g.slots = append(g.slots, []*gangJob{j})
+	}
+	if !g.ticking {
+		g.ticking = true
+		g.engine.After(0, "gang-quantum", g.tick)
+	}
+}
+
+func (g *Gang) slotDemand(i int) int {
+	d := 0
+	for _, j := range g.slots[i] {
+		d += j.req.Nodes
+	}
+	return d
+}
+
+// tick runs one quantum for the active slot, retires finished jobs,
+// rotates, and reschedules itself while work remains.
+func (g *Gang) tick() {
+	if len(g.slots) == 0 {
+		g.ticking = false
+		return
+	}
+	if g.active >= len(g.slots) {
+		g.active = 0
+	}
+	now := g.engine.Now()
+	slot := g.slots[g.active]
+	var keep []*gangJob
+	for _, j := range slot {
+		if !j.started {
+			j.started = true
+			j.start = now
+		}
+		j.progress += g.quantum
+		if j.progress >= j.req.Runtime {
+			// Completion lands inside this quantum; bill the exact time.
+			over := j.progress - j.req.Runtime
+			g.outcomes = append(g.outcomes, Outcome{
+				Request:       j.req,
+				Arrival:       j.arrival,
+				ForecastStart: j.arrival, // gang admits immediately
+				Start:         j.start,
+				End:           now + g.quantum - over,
+			})
+			continue
+		}
+		keep = append(keep, j)
+	}
+	g.slots[g.active] = keep
+	// Drop empty slots; rotation simply advances over the compacted list.
+	var slots [][]*gangJob
+	for _, s := range g.slots {
+		if len(s) > 0 {
+			slots = append(slots, s)
+		}
+	}
+	g.slots = slots
+	if len(g.slots) == 0 {
+		g.ticking = false
+		return
+	}
+	g.active = (g.active + 1) % len(g.slots)
+	g.engine.After(g.quantum, "gang-quantum", g.tick)
+}

@@ -1,0 +1,109 @@
+package batch
+
+import (
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// profile is a step function of node availability over time, used for
+// "does this parallel job fit at time t" queries, shadow-time computation
+// in EASY backfilling, reservation placement in conservative backfilling,
+// and start-time forecasts.
+type profile struct {
+	capacity int
+	deltas   map[simtime.Time]int // time -> change in used nodes
+}
+
+func newProfile(capacity int) *profile {
+	return &profile{capacity: capacity, deltas: make(map[simtime.Time]int)}
+}
+
+// subtract marks `nodes` nodes busy during iv.
+func (p *profile) subtract(iv simtime.Interval, nodes int) {
+	if iv.Empty() || nodes <= 0 {
+		return
+	}
+	p.deltas[iv.Start] += nodes
+	p.deltas[iv.End] -= nodes
+}
+
+// times returns the sorted breakpoints.
+func (p *profile) times() []simtime.Time {
+	out := make([]simtime.Time, 0, len(p.deltas))
+	for t := range p.deltas {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// availableAt returns free nodes at time t.
+func (p *profile) availableAt(t simtime.Time) int {
+	used := 0
+	for bp, d := range p.deltas {
+		if bp <= t {
+			used += d
+		}
+	}
+	return p.capacity - used
+}
+
+// fitsAt reports whether `nodes` nodes are free for all of [t, t+dur).
+func (p *profile) fitsAt(t, dur simtime.Time, nodes int) bool {
+	if nodes > p.capacity {
+		return false
+	}
+	if dur <= 0 {
+		return p.availableAt(t) >= nodes
+	}
+	if p.availableAt(t) < nodes {
+		return false
+	}
+	for _, bp := range p.times() {
+		if bp <= t || bp >= t+dur {
+			continue
+		}
+		if p.availableAt(bp) < nodes {
+			return false
+		}
+	}
+	return true
+}
+
+// earliestFit returns the earliest t >= after such that `nodes` nodes stay
+// free during [t, t+dur). It always terminates: past the last breakpoint
+// the machine is fully idle. ok is false only when nodes > capacity.
+func (p *profile) earliestFit(after, dur simtime.Time, nodes int) (simtime.Time, bool) {
+	if nodes > p.capacity {
+		return 0, false
+	}
+	candidates := []simtime.Time{after}
+	for _, bp := range p.times() {
+		if bp > after {
+			candidates = append(candidates, bp)
+		}
+	}
+	for _, t := range candidates {
+		if p.fitsAt(t, dur, nodes) {
+			return t, true
+		}
+	}
+	// Unreachable: the candidate at or after the final breakpoint fits.
+	last := after
+	for _, bp := range p.times() {
+		if bp > last {
+			last = bp
+		}
+	}
+	return last, true
+}
+
+// shadow returns, for a blocked head job needing `nodes` nodes with
+// duration dur, the shadow time (its earliest profile start) and the number
+// of extra free nodes at that moment beyond what the head will use — the
+// two quantities EASY backfilling checks candidates against.
+func (p *profile) shadow(after, dur simtime.Time, nodes int) (shadowTime simtime.Time, extra int) {
+	st, _ := p.earliestFit(after, dur, nodes)
+	return st, p.availableAt(st) - nodes
+}

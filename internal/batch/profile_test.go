@@ -1,0 +1,148 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+func TestProfileAvailability(t *testing.T) {
+	p := newProfile(8)
+	p.subtract(simtime.Interval{Start: 0, End: 10}, 3)
+	p.subtract(simtime.Interval{Start: 5, End: 15}, 4)
+	tests := []struct {
+		t    simtime.Time
+		want int
+	}{
+		{-1, 8}, {0, 5}, {4, 5}, {5, 1}, {9, 1}, {10, 4}, {14, 4}, {15, 8},
+	}
+	for _, tt := range tests {
+		if got := p.availableAt(tt.t); got != tt.want {
+			t.Errorf("availableAt(%d) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestProfileSubtractIgnoresDegenerate(t *testing.T) {
+	p := newProfile(4)
+	p.subtract(simtime.Interval{Start: 5, End: 5}, 2)
+	p.subtract(simtime.Interval{Start: 5, End: 10}, 0)
+	p.subtract(simtime.Interval{Start: 5, End: 10}, -3)
+	if got := p.availableAt(6); got != 4 {
+		t.Errorf("degenerate subtractions changed profile: %d", got)
+	}
+}
+
+func TestProfileFitsAt(t *testing.T) {
+	p := newProfile(4)
+	p.subtract(simtime.Interval{Start: 10, End: 20}, 3)
+	tests := []struct {
+		t, dur simtime.Time
+		nodes  int
+		want   bool
+	}{
+		{0, 10, 4, true},   // ends exactly when the load starts
+		{0, 11, 4, false},  // overlaps one tick of the loaded window
+		{10, 5, 1, true},   // fits beside the load
+		{10, 5, 2, false},  // too wide beside the load
+		{15, 10, 2, false}, // starts inside, ends outside
+		{20, 10, 4, true},  // after the load
+		{0, 5, 5, false},   // more nodes than capacity
+	}
+	for _, tt := range tests {
+		if got := p.fitsAt(tt.t, tt.dur, tt.nodes); got != tt.want {
+			t.Errorf("fitsAt(%d,%d,%d) = %v, want %v", tt.t, tt.dur, tt.nodes, got, tt.want)
+		}
+	}
+}
+
+func TestProfileEarliestFit(t *testing.T) {
+	p := newProfile(4)
+	p.subtract(simtime.Interval{Start: 0, End: 10}, 4)
+	p.subtract(simtime.Interval{Start: 10, End: 20}, 2)
+	tests := []struct {
+		after, dur simtime.Time
+		nodes      int
+		want       simtime.Time
+	}{
+		{0, 5, 1, 10},
+		{0, 5, 2, 10},
+		{0, 5, 3, 20},
+		{12, 3, 2, 12},
+		{25, 5, 4, 25},
+	}
+	for _, tt := range tests {
+		got, ok := p.earliestFit(tt.after, tt.dur, tt.nodes)
+		if !ok || got != tt.want {
+			t.Errorf("earliestFit(%d,%d,%d) = (%d,%v), want %d", tt.after, tt.dur, tt.nodes, got, ok, tt.want)
+		}
+	}
+	if _, ok := p.earliestFit(0, 5, 5); ok {
+		t.Error("fit beyond capacity accepted")
+	}
+}
+
+func TestProfileShadow(t *testing.T) {
+	// Head needs 4 nodes for 10; the machine runs 3 nodes until t=10.
+	p := newProfile(4)
+	p.subtract(simtime.Interval{Start: 0, End: 10}, 3)
+	shadowTime, extra := p.shadow(0, 10, 4)
+	if shadowTime != 10 {
+		t.Errorf("shadow time = %d, want 10", shadowTime)
+	}
+	if extra != 0 {
+		t.Errorf("extra = %d, want 0", extra)
+	}
+}
+
+func TestQuickEarliestFitIsEarliestAndFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cap := r.IntBetween(1, 6)
+		p := newProfile(cap)
+		for i := 0; i < r.Intn(8); i++ {
+			s := simtime.Time(r.Intn(40))
+			p.subtract(simtime.Interval{Start: s, End: s + simtime.Time(r.IntBetween(1, 10))},
+				r.IntBetween(1, cap))
+		}
+		after := simtime.Time(r.Intn(20))
+		dur := simtime.Time(r.IntBetween(1, 8))
+		nodes := r.IntBetween(1, cap)
+		got, ok := p.earliestFit(after, dur, nodes)
+		if !ok {
+			return false // within capacity there is always a fit eventually
+		}
+		if got < after || !p.fitsAt(got, dur, nodes) {
+			return false
+		}
+		// No earlier integer start fits.
+		for cand := after; cand < got; cand++ {
+			if p.fitsAt(cand, dur, nodes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnCompleteCallback(t *testing.T) {
+	e := sim.New()
+	c := NewCluster(e, 1, Policy{})
+	var got []Outcome
+	c.OnComplete = func(o Outcome) { got = append(got, o) }
+	c.Submit(req("a", 1, 4, 4))
+	c.Submit(req("b", 1, 3, 3))
+	e.Run()
+	if len(got) != 2 {
+		t.Fatalf("callbacks = %d, want 2", len(got))
+	}
+	if got[0].ID != "a" || got[1].ID != "b" {
+		t.Errorf("callback order: %s, %s", got[0].ID, got[1].ID)
+	}
+}

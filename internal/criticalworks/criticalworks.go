@@ -1,0 +1,429 @@
+// Package criticalworks implements the paper's core application-level
+// scheduling algorithm: the critical works method (§3, refs [21–23]).
+//
+// The method is a multiphase procedure over a compound job's DAG:
+//
+//  1. Find the next critical work — the longest (by best-case estimated
+//     execution time, data transfers included) chain of still-unassigned
+//     tasks.
+//  2. Choose the best combination of available resources for that chain by
+//     dynamic programming over (chain position × candidate node),
+//     minimizing the economic cost Σ ceil(V/T)·rate subject to the job's
+//     deadline and the nodes' reservation calendars.
+//  3. Detect collisions — the chain's ideal placement landing on node time
+//     already reserved by a task of a different critical work (the paper's
+//     P4/P5 clash on node 3) — and resolve them by economic reallocation
+//     (the DP simply pays for the next-best slot or node).
+//  4. Repeat until every task is placed, yielding one Distribution
+//     (a Schedule here).
+package criticalworks
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/data"
+	"repro/internal/economy"
+	"repro/internal/estimate"
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+// Placement is one line of a Distribution: a task bound to a node for a
+// wall-time reservation window, at the user-estimated duration.
+type Placement struct {
+	Task   dag.TaskID
+	Node   resource.NodeID
+	Window simtime.Interval
+}
+
+// Collision records one resource conflict between critical works: the task
+// wanted Window on Node (its ideal placement) but the slot was already held
+// by Holder. Resolution is whatever placement the task actually received.
+type Collision struct {
+	Task   dag.TaskID
+	Node   resource.NodeID
+	Window simtime.Interval
+	Holder resource.Owner
+}
+
+// Schedule is the paper's Distribution: a complete coordinated allocation
+// of all tasks of one job.
+type Schedule struct {
+	Job        *dag.Job
+	Placements map[dag.TaskID]Placement
+	Collisions []Collision
+
+	// Cost is the economic cost Σ ceil(V/T)·rate(node); BareCF is the same
+	// sum with rate 1 — the paper's CF as printed in Fig. 2.
+	Cost   float64
+	BareCF int64
+
+	// Start and Finish bound the whole job's execution window.
+	Start, Finish simtime.Time
+
+	// Evaluations counts slot-fitting probes performed by the DP — the
+	// "computational expenses" of generating this distribution that §4
+	// contrasts between S1 and MS1.
+	Evaluations int64
+
+	// Partial marks a schedule abandoned mid-construction because some
+	// critical work had no feasible placement. Its Placements cover only
+	// the chains placed before the failure; its Collisions are still
+	// meaningful (the method attempted those allocations).
+	Partial bool
+}
+
+// Makespan returns Finish − Start.
+func (s *Schedule) Makespan() simtime.Time { return s.Finish - s.Start }
+
+// MeetsDeadline reports whether the schedule completes by the job deadline.
+func (s *Schedule) MeetsDeadline() bool { return s.Finish <= s.Job.Deadline }
+
+// Objective selects the DP's optimization target for each critical work.
+type Objective int
+
+const (
+	// MinFinish minimizes the chain's completion time, breaking ties by
+	// economic cost — the QoS-first target used when generating the fast
+	// (low-tier) distributions of a strategy.
+	MinFinish Objective = iota
+	// MinCost minimizes economic cost, breaking ties by completion time —
+	// the budget-first target. With loose deadlines it drifts to the
+	// slowest feasible nodes, trading promptness for quota.
+	MinCost
+)
+
+// CollisionMode selects how a blocked ideal placement is resolved; the
+// non-default mode exists for the E8 ablation.
+type CollisionMode int
+
+const (
+	// ResolveReallocate lets the DP move the task to any feasible node and
+	// slot (the paper's economic reallocation).
+	ResolveReallocate CollisionMode = iota
+	// ResolveDelay pins each task to its ideal node and only ever delays it
+	// there — the naive baseline the paper's mechanism improves on.
+	ResolveDelay
+)
+
+// Options configures one Build run.
+type Options struct {
+	// JobName labels reservations; defaults to the job's own name.
+	JobName string
+	// Table holds user estimates; defaults to estimate.Derive(job).
+	Table *estimate.Table
+	// Catalog supplies data transfer times; defaults to remote access.
+	Catalog *data.Catalog
+	// Pricing sets node rates; defaults to FlatPricing{1} (the paper's
+	// bare CF).
+	Pricing economy.Pricing
+	// Candidates restricts the usable nodes; nil means every node.
+	Candidates []resource.NodeID
+	// Release is the earliest model time any task may start.
+	Release simtime.Time
+	// Deadline overrides the job's deadline when non-zero.
+	Deadline simtime.Time
+	// Horizon bounds calendar searches; defaults to 4× the deadline span.
+	Horizon simtime.Time
+	// Mode selects collision resolution; default ResolveReallocate.
+	Mode CollisionMode
+	// Objective selects the DP target; default MinFinish.
+	Objective Objective
+}
+
+// Calendars is the mutable scheduling view: one calendar per node. Build
+// reserves into it, so callers pass clones (see Snapshot) when the live
+// books must stay untouched.
+type Calendars map[resource.NodeID]*resource.Calendar
+
+// Snapshot clones the live calendars of every node in env.
+func Snapshot(env *resource.Environment) Calendars {
+	out := make(Calendars, env.NumNodes())
+	for _, n := range env.Nodes() {
+		out[n.ID] = n.Calendar().Clone()
+	}
+	return out
+}
+
+// Live returns a view over the nodes' real calendars, without cloning.
+// Build mutates whatever view it is given; pass Live only when the
+// reservations should land directly in the environment.
+func Live(env *resource.Environment) Calendars {
+	out := make(Calendars, env.NumNodes())
+	for _, n := range env.Nodes() {
+		out[n.ID] = n.Calendar()
+	}
+	return out
+}
+
+// EmptyCalendars returns fresh calendars for every node in env.
+func EmptyCalendars(env *resource.Environment) Calendars {
+	out := make(Calendars, env.NumNodes())
+	for _, n := range env.Nodes() {
+		out[n.ID] = resource.NewCalendar()
+	}
+	return out
+}
+
+// InfeasibleError reports that no resource combination lets the job meet
+// its deadline; Task names the first chain task that could not be placed.
+type InfeasibleError struct {
+	Job  string
+	Task string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("criticalworks: job %q: no feasible placement for task %q", e.Job, e.Task)
+}
+
+// ErrNoCandidates reports an empty candidate node set.
+var ErrNoCandidates = errors.New("criticalworks: no candidate nodes")
+
+// builder carries one Build attempt's state.
+type builder struct {
+	env    *resource.Environment
+	cals   Calendars
+	job    *dag.Job
+	opt    Options
+	margin float64 // serialization margin scaling the bounds
+
+	placed map[dag.TaskID]Placement
+	colls  []Collision
+	evals  int64
+
+	bestUp   []simtime.Time // earliest-start offset per task (margin-scaled)
+	bestDown []simtime.Time // remaining time after task finish (margin-scaled)
+}
+
+// margins is the retry ladder of serialization margins. The pure best-case
+// bounds (margin 1) assume unlimited fastest nodes; when parallel branches
+// must serialize on a scarce resource pool, later critical works can find
+// their window already pinned shut by earlier ones. Each retry inflates
+// the room the bounds reserve between dependent tasks, trading schedule
+// compactness for feasibility — the multiphase conflict resolution of §3
+// at the whole-schedule level.
+var margins = []float64{1, 1.5, 2, 3, 4}
+
+// Build runs the critical works method for one job against the given
+// calendar view and returns the resulting Distribution. The view is
+// mutated: every placement is reserved under Owner{JobName, taskName}.
+func Build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options) (*Schedule, error) {
+	if opt.JobName == "" {
+		opt.JobName = job.Name
+	}
+	if opt.Table == nil {
+		opt.Table = estimate.Derive(job)
+	}
+	if err := opt.Table.CoversJob(job); err != nil {
+		return nil, err
+	}
+	if opt.Catalog == nil {
+		opt.Catalog = data.NewCatalog(data.RemoteAccess, 0)
+	}
+	if opt.Pricing == nil {
+		opt.Pricing = economy.FlatPricing{PerTick: 1}
+	}
+	if opt.Deadline == 0 {
+		opt.Deadline = job.Deadline
+	}
+	if opt.Deadline <= opt.Release {
+		return nil, &InfeasibleError{Job: opt.JobName, Task: job.Task(job.TopoOrder()[0]).Name}
+	}
+	if opt.Horizon == 0 {
+		opt.Horizon = opt.Release + 4*(opt.Deadline-opt.Release)
+	}
+	if opt.Candidates == nil {
+		opt.Candidates = allNodes(env)
+	}
+	if len(opt.Candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+
+	var firstPartial *Schedule
+	var firstErr error
+	var evals int64
+	for _, mg := range margins {
+		attempt := opt
+		attempt.Catalog = opt.Catalog.Clone()
+		trial := cloneView(cals)
+		b := &builder{
+			env:    env,
+			cals:   trial,
+			job:    job,
+			opt:    attempt,
+			margin: mg,
+			placed: make(map[dag.TaskID]Placement, job.NumTasks()),
+		}
+		sched, err := b.buildOnce()
+		evals += b.evals
+		if err == nil {
+			sched.Evaluations = evals
+			// Adopt the successful attempt's reservations and data
+			// placements into the caller's view.
+			for id, c := range trial {
+				cals[id] = c
+			}
+			*opt.Catalog = *attempt.Catalog
+			return sched, nil
+		}
+		var inf *InfeasibleError
+		if !errors.As(err, &inf) {
+			return nil, err
+		}
+		if firstPartial == nil {
+			// Keep the margin-1 attempt's partial schedule: its collisions
+			// reflect the method's genuine allocation attempts (Fig. 3b
+			// counts them).
+			firstPartial, firstErr = b.partial(), err
+		}
+	}
+	firstPartial.Evaluations = evals
+	return firstPartial, firstErr
+}
+
+// buildOnce runs the full multiphase procedure for one margin.
+func (b *builder) buildOnce() (*Schedule, error) {
+	b.computeBounds()
+	for len(b.placed) < b.job.NumTasks() {
+		chain, ok := b.job.LongestChain(b.chainWeights(), func(id dag.TaskID) bool {
+			_, done := b.placed[id]
+			return !done
+		})
+		if !ok {
+			break // cannot happen while placed < NumTasks; defensive
+		}
+		if err := b.placeChain(chain); err != nil {
+			return nil, err
+		}
+	}
+	return b.finish()
+}
+
+// cloneView deep-copies a calendar view.
+func cloneView(cals Calendars) Calendars {
+	out := make(Calendars, len(cals))
+	for id, c := range cals {
+		out[id] = c.Clone()
+	}
+	return out
+}
+
+// partial packages an abandoned build: placements and collisions recorded
+// so far, no cost accounting.
+func (b *builder) partial() *Schedule {
+	return &Schedule{
+		Job:         b.job,
+		Placements:  b.placed,
+		Collisions:  b.colls,
+		Evaluations: b.evals,
+		Partial:     true,
+	}
+}
+
+// chainWeights gives the critical-work metric: best-case task estimates
+// plus base transfer times.
+func (b *builder) chainWeights() dag.WeightFunc {
+	return dag.WeightFunc{
+		Task: func(t dag.Task) simtime.Time { return b.opt.Table.Best(t.ID) },
+		Edge: func(e dag.Edge) simtime.Time { return e.BaseTime },
+	}
+}
+
+// computeBounds fills bestUp and bestDown: the best-case (fastest-node)
+// time that must elapse before a task can start and after it finishes,
+// transfer times included. These bounds both constrain tasks whose
+// neighbours are not yet placed and reserve room for those neighbours:
+// without the transfer terms, the first critical work packs its tasks
+// back-to-back and later works cannot squeeze their tasks (plus transfers)
+// into the remaining windows — the idle gaps visible in the paper's Fig. 2
+// Gantt charts are exactly this reserved room.
+func (b *builder) computeBounds() {
+	n := b.job.NumTasks()
+	b.bestUp = make([]simtime.Time, n)
+	b.bestDown = make([]simtime.Time, n)
+	topo := b.job.TopoOrder()
+	scale := func(t simtime.Time) simtime.Time {
+		if b.margin <= 1 {
+			return t
+		}
+		return simtime.Time(float64(t)*b.margin + 0.5)
+	}
+	for _, id := range topo {
+		var up simtime.Time
+		for _, e := range b.job.In(id) {
+			cand := b.bestUp[e.From] + scale(b.opt.Table.Best(e.From)+e.BaseTime)
+			if cand > up {
+				up = cand
+			}
+		}
+		b.bestUp[id] = up
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		var down simtime.Time
+		for _, e := range b.job.Out(id) {
+			cand := b.bestDown[e.To] + scale(b.opt.Table.Best(e.To)+e.BaseTime)
+			if cand > down {
+				down = cand
+			}
+		}
+		b.bestDown[id] = down
+	}
+}
+
+func allNodes(env *resource.Environment) []resource.NodeID {
+	ids := make([]resource.NodeID, env.NumNodes())
+	for i := range ids {
+		ids[i] = resource.NodeID(i)
+	}
+	return ids
+}
+
+// finish assembles the Schedule, prices it, commits data placements and
+// verifies precedence consistency (a violation is an internal bug).
+func (b *builder) finish() (*Schedule, error) {
+	s := &Schedule{
+		Job:         b.job,
+		Placements:  b.placed,
+		Collisions:  b.colls,
+		Start:       simtime.Infinity,
+		Evaluations: b.evals,
+	}
+	for id, p := range b.placed {
+		dur := p.Window.Len()
+		vol := b.opt.Table.Volume(id)
+		s.BareCF += economy.TaskCharge(vol, dur)
+		s.Cost += economy.WeightedTaskCharge(vol, dur, b.opt.Pricing.Rate(b.env.Node(p.Node)))
+		if p.Window.Start < s.Start {
+			s.Start = p.Window.Start
+		}
+		if p.Window.End > s.Finish {
+			s.Finish = p.Window.End
+		}
+	}
+	for _, e := range b.job.Edges() {
+		from, to := b.placed[e.From], b.placed[e.To]
+		tt := b.transferTime(e, from.Node, to.Node)
+		if to.Window.Start < from.Window.End+tt {
+			return nil, fmt.Errorf("criticalworks: internal error: edge %s violates precedence (%v + %d > %v)",
+				e.Name, from.Window, tt, to.Window)
+		}
+		b.opt.Catalog.Commit(b.opt.JobName, b.job.Task(e.From).Name, from.Node, to.Node)
+	}
+	sort.Slice(s.Collisions, func(i, j int) bool {
+		a, c := s.Collisions[i], s.Collisions[j]
+		if a.Window.Start != c.Window.Start {
+			return a.Window.Start < c.Window.Start
+		}
+		return a.Task < c.Task
+	})
+	return s, nil
+}
+
+// transferTime is the policy-aware transfer time for edge e between nodes.
+func (b *builder) transferTime(e dag.Edge, from, to resource.NodeID) simtime.Time {
+	return b.opt.Catalog.TransferTime(b.opt.JobName, b.job.Task(e.From).Name, e.BaseTime, from, to)
+}

@@ -1,0 +1,569 @@
+package criticalworks
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/data"
+	"repro/internal/economy"
+	"repro/internal/estimate"
+	"repro/internal/resource"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// fig2Job is the paper's Fig. 2(a) example (see dag tests for the chain
+// length derivation).
+func fig2Job(deadline simtime.Time) *dag.Job {
+	b := dag.NewBuilder("fig2").Deadline(deadline)
+	b.Task("P1", 2, 20)
+	b.Task("P2", 3, 30)
+	b.Task("P3", 1, 10)
+	b.Task("P4", 2, 20)
+	b.Task("P5", 1, 10)
+	b.Task("P6", 2, 20)
+	b.Edge("D1", "P1", "P2", 1, 10)
+	b.Edge("D2", "P1", "P3", 1, 10)
+	b.Edge("D3", "P2", "P4", 1, 10)
+	b.Edge("D4", "P2", "P5", 1, 10)
+	b.Edge("D5", "P3", "P4", 1, 10)
+	b.Edge("D6", "P3", "P5", 1, 10)
+	b.Edge("D7", "P4", "P6", 1, 10)
+	b.Edge("D8", "P5", "P6", 1, 10)
+	return b.MustBuild()
+}
+
+// paperEnv is the Fig. 2 node set: four nodes of types 1..4 (performance
+// 1, 0.5, 0.33, 0.25).
+func paperEnv() *resource.Environment {
+	return resource.NewEnvironment([]*resource.Node{
+		resource.NewNode(0, "n1", 1.0, 1, "d"),
+		resource.NewNode(1, "n2", 0.5, 1, "d"),
+		resource.NewNode(2, "n3", 0.33, 1, "d"),
+		resource.NewNode(3, "n4", 0.25, 1, "d"),
+	})
+}
+
+// checkValid asserts the schedule's structural invariants: everything
+// placed, precedence + transfer times respected, deadline semantics
+// consistent, windows on one node disjoint.
+func checkValid(t *testing.T, env *resource.Environment, s *Schedule, cat *data.Catalog) {
+	t.Helper()
+	job := s.Job
+	if len(s.Placements) != job.NumTasks() {
+		t.Fatalf("placed %d of %d tasks", len(s.Placements), job.NumTasks())
+	}
+	for _, e := range job.Edges() {
+		from, to := s.Placements[e.From], s.Placements[e.To]
+		tt := cat.TransferTime(job.Name, job.Task(e.From).Name, e.BaseTime, from.Node, to.Node)
+		if to.Window.Start < from.Window.End+tt {
+			t.Errorf("edge %s: to starts %d, from ends %d + transfer %d", e.Name, to.Window.Start, from.Window.End, tt)
+		}
+	}
+	byNode := map[resource.NodeID][]simtime.Interval{}
+	for _, p := range s.Placements {
+		byNode[p.Node] = append(byNode[p.Node], p.Window)
+	}
+	for n, ivs := range byNode {
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].Overlaps(ivs[j]) {
+					t.Errorf("node %d has overlapping windows %v %v", n, ivs[i], ivs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSingleTaskPicksCheapestFeasible(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	env := paperEnv()
+
+	s, err := Build(env, EmptyCalendars(env), job, Options{Objective: MinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Placements[0]
+	// Under MinCost with a loose deadline, the cheapest node wins: slowest
+	// (type 4, dur 8, charge ceil(20/8)=3) beats fast (dur 2, charge 10).
+	if p.Node != 3 {
+		t.Errorf("placed on node %d, want the type-4 node 3", p.Node)
+	}
+	if s.BareCF != 3 {
+		t.Errorf("BareCF = %d, want 3", s.BareCF)
+	}
+	if !s.MeetsDeadline() {
+		t.Error("missed a loose deadline")
+	}
+}
+
+func TestSingleTaskTightDeadlineForcesFastNode(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(2)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	env := paperEnv()
+
+	s, err := Build(env, EmptyCalendars(env), job, Options{Objective: MinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Placements[0]; p.Node != 0 {
+		t.Errorf("placed on node %d, want fast node 0", p.Node)
+	}
+	if s.BareCF != 10 {
+		t.Errorf("BareCF = %d, want 10 (paying for speed)", s.BareCF)
+	}
+}
+
+func TestInfeasibleDeadline(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(1)
+	b.Task("T", 2, 20) // even the fastest node needs 2 ticks
+	job := b.MustBuild()
+	env := paperEnv()
+
+	_, err := Build(env, EmptyCalendars(env), job, Options{})
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want InfeasibleError", err)
+	}
+}
+
+func TestDeadlineBeforeRelease(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(5)
+	b.Task("T", 1, 1)
+	job := b.MustBuild()
+	env := paperEnv()
+	_, err := Build(env, EmptyCalendars(env), job, Options{Release: 10})
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want InfeasibleError", err)
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(50)
+	b.Task("T", 1, 1)
+	job := b.MustBuild()
+	env := paperEnv()
+	_, err := Build(env, EmptyCalendars(env), job, Options{Candidates: []resource.NodeID{}})
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestFig2FullBuild(t *testing.T) {
+	job := fig2Job(20)
+	env := paperEnv()
+	cat := data.NewCatalog(data.RemoteAccess, 0)
+	s, err := Build(env, EmptyCalendars(env), job, Options{Catalog: cat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, env, s, cat)
+	if !s.MeetsDeadline() {
+		t.Errorf("fig2 misses deadline: finish %d > 20", s.Finish)
+	}
+	if s.BareCF <= 0 || s.Cost <= 0 {
+		t.Errorf("costs not computed: CF=%d cost=%v", s.BareCF, s.Cost)
+	}
+}
+
+func TestFig2TightDeadlineStillFeasible(t *testing.T) {
+	// The critical path is 12 on type-1 nodes (transfers included); under
+	// the MinFinish objective the method finds a 12-tick schedule, so a
+	// deadline of 14 is feasible despite the branch contention.
+	job := fig2Job(14)
+	env := paperEnv()
+	cat := data.NewCatalog(data.RemoteAccess, 0)
+	s, err := Build(env, EmptyCalendars(env), job, Options{Catalog: cat})
+	if err != nil {
+		t.Fatalf("deadline 14 should be feasible: %v", err)
+	}
+	checkValid(t, env, s, cat)
+	if s.Finish > 14 {
+		t.Errorf("finish %d > deadline 14", s.Finish)
+	}
+}
+
+func TestFig2MinCostHeuristicMayFail(t *testing.T) {
+	// The MinCost objective is a heuristic: with a tight deadline its
+	// greedy first chain can strand later critical works, which surfaces
+	// as a clean InfeasibleError rather than a broken schedule. (The
+	// paper's own admissibility rates — 33–38% — reflect exactly such
+	// misses.)
+	job := fig2Job(14)
+	env := paperEnv()
+	_, err := Build(env, EmptyCalendars(env), job, Options{Objective: MinCost})
+	if err != nil {
+		var inf *InfeasibleError
+		if !errors.As(err, &inf) {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+	}
+}
+
+func TestCollisionDetectedOnContendedNode(t *testing.T) {
+	// Fork: S -> A, S -> B with identical estimates, a single candidate
+	// node. The second critical work's ideal slot overlaps the first's
+	// reservation: exactly one collision, held by the same job.
+	b := dag.NewBuilder("fork").Deadline(40)
+	b.Task("S", 2, 8)
+	b.Task("A", 4, 16)
+	b.Task("B", 4, 16)
+	b.Edge("dA", "S", "A", 1, 1)
+	b.Edge("dB", "S", "B", 1, 1)
+	job := b.MustBuild()
+	env := resource.NewEnvironment([]*resource.Node{
+		resource.NewNode(0, "only", 1.0, 1, "d"),
+	})
+	s, err := Build(env, EmptyCalendars(env), job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Collisions) != 1 {
+		t.Fatalf("collisions = %d, want 1 (%v)", len(s.Collisions), s.Collisions)
+	}
+	c := s.Collisions[0]
+	if c.Node != 0 {
+		t.Errorf("collision on node %d", c.Node)
+	}
+	if c.Holder.Job != "fork" {
+		t.Errorf("collision holder = %+v, want own job", c.Holder)
+	}
+}
+
+func TestCollisionAgainstExternalReservation(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(50)
+	b.Task("T", 4, 4)
+	job := b.MustBuild()
+	env := resource.NewEnvironment([]*resource.Node{
+		resource.NewNode(0, "only", 1.0, 1, "d"),
+	})
+	cals := EmptyCalendars(env)
+	// Background load occupies the ideal window [0,4).
+	if err := cals[0].Reserve(simtime.Interval{Start: 0, End: 10}, resource.External); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(env, cals, job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Collisions) != 1 || s.Collisions[0].Holder != resource.External {
+		t.Fatalf("collisions = %+v, want one external", s.Collisions)
+	}
+	if s.Placements[0].Window.Start < 10 {
+		t.Errorf("task starts %d inside external reservation", s.Placements[0].Window.Start)
+	}
+}
+
+func TestReallocateBeatsDelay(t *testing.T) {
+	// Two equal parallel tasks, two identical nodes. Reallocation runs them
+	// simultaneously on different nodes; the delay baseline queues both on
+	// the shared ideal node.
+	build := func(mode CollisionMode) *Schedule {
+		b := dag.NewBuilder("par").Deadline(100)
+		b.Task("A", 10, 10)
+		b.Task("B", 10, 10)
+		job := b.MustBuild()
+		env := resource.NewEnvironment([]*resource.Node{
+			resource.NewNode(0, "n0", 1.0, 1, "d"),
+			resource.NewNode(1, "n1", 1.0, 1, "d"),
+		})
+		s, err := Build(env, EmptyCalendars(env), job, Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	re := build(ResolveReallocate)
+	de := build(ResolveDelay)
+	if re.Finish >= de.Finish {
+		t.Errorf("reallocate finish %d not better than delay finish %d", re.Finish, de.Finish)
+	}
+	if de.Finish != 20 {
+		t.Errorf("delay mode finish = %d, want 20 (serialized)", de.Finish)
+	}
+	if re.Finish != 10 {
+		t.Errorf("reallocate finish = %d, want 10 (parallel)", re.Finish)
+	}
+}
+
+func TestCandidateRestriction(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	env := paperEnv()
+	s, err := Build(env, EmptyCalendars(env), job, Options{
+		Candidates: []resource.NodeID{1}, // only the type-2 node
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[0].Node != 1 {
+		t.Errorf("placed on %d despite restriction", s.Placements[0].Node)
+	}
+	if got := s.Placements[0].Window.Len(); got != 4 { // tier-2 estimate 2×2
+		t.Errorf("duration = %d, want 4", got)
+	}
+}
+
+func TestPerformancePricingPullsTowardSlowNodes(t *testing.T) {
+	// With performance pricing, fast nodes cost strictly more per charge
+	// unit; the bare CF already prefers slow nodes, and weighted cost must
+	// amplify that: weighted cost on node 0 > on node 3 for the same task.
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	env := paperEnv()
+	s, err := Build(env, EmptyCalendars(env), job, Options{
+		Pricing:   economy.PerformancePricing{Base: 10},
+		Objective: MinCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[0].Node != 3 {
+		t.Errorf("placed on node %d, want cheapest slow node", s.Placements[0].Node)
+	}
+}
+
+func TestReleaseShiftsSchedule(t *testing.T) {
+	b := dag.NewBuilder("one").Deadline(200)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	env := paperEnv()
+	s, err := Build(env, EmptyCalendars(env), job, Options{Release: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start < 50 {
+		t.Errorf("started at %d before release 50", s.Start)
+	}
+}
+
+func TestActiveReplicationReducesMakespanOrCost(t *testing.T) {
+	// Diamond with heavy transfers: replication at least never does worse
+	// than remote access. With transfers this heavy the remote-access run
+	// may be outright infeasible for the heuristic — that is the sharpest
+	// form of replication's advantage.
+	mk := func(p data.Policy) (*Schedule, error) {
+		b := dag.NewBuilder("dia").Deadline(200)
+		b.Task("S", 2, 10)
+		b.Task("A", 2, 10)
+		b.Task("B", 2, 10)
+		b.Task("T", 2, 10)
+		b.Edge("d1", "S", "A", 8, 8)
+		b.Edge("d2", "S", "B", 8, 8)
+		b.Edge("d3", "A", "T", 8, 8)
+		b.Edge("d4", "B", "T", 8, 8)
+		job := b.MustBuild()
+		env := paperEnv()
+		return Build(env, EmptyCalendars(env), job, Options{
+			Catalog: data.NewCatalog(p, 0),
+		})
+	}
+	rep, errRep := mk(data.ActiveReplication)
+	if errRep != nil {
+		t.Fatalf("replication infeasible: %v", errRep)
+	}
+	rem, errRem := mk(data.RemoteAccess)
+	if errRem == nil && rep.Finish > rem.Finish {
+		t.Errorf("replication finish %d worse than remote %d", rep.Finish, rem.Finish)
+	}
+}
+
+func TestScheduleAccountingMatchesPlacements(t *testing.T) {
+	job := fig2Job(24)
+	env := paperEnv()
+	s, err := Build(env, EmptyCalendars(env), job, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf int64
+	var start, finish simtime.Time = simtime.Infinity, 0
+	tab := estimate.Derive(job)
+	for id, p := range s.Placements {
+		cf += economy.TaskCharge(tab.Volume(id), p.Window.Len())
+		if p.Window.Start < start {
+			start = p.Window.Start
+		}
+		if p.Window.End > finish {
+			finish = p.Window.End
+		}
+	}
+	if cf != s.BareCF {
+		t.Errorf("BareCF = %d, recomputed %d", s.BareCF, cf)
+	}
+	if start != s.Start || finish != s.Finish {
+		t.Errorf("bounds = [%d,%d], recomputed [%d,%d]", s.Start, s.Finish, start, finish)
+	}
+	if s.Makespan() != finish-start {
+		t.Errorf("Makespan = %d", s.Makespan())
+	}
+}
+
+// randomEnv builds 2..6 nodes across the performance range.
+func randomEnv(r *rng.Source) *resource.Environment {
+	n := r.IntBetween(2, 6)
+	nodes := make([]*resource.Node, n)
+	perfs := []float64{1.0, 0.8, 0.5, 0.4, 0.33, 0.25}
+	for i := 0; i < n; i++ {
+		nodes[i] = resource.NewNode(resource.NodeID(i), "n", perfs[r.Intn(len(perfs))], 1, "d")
+	}
+	return resource.NewEnvironment(nodes)
+}
+
+func randomJob(r *rng.Source) *dag.Job {
+	n := r.IntBetween(1, 8)
+	b := dag.NewBuilder("rand")
+	names := make([]string, n)
+	var span simtime.Time
+	for i := range names {
+		names[i] = string(rune('A' + i))
+		bt := simtime.Time(r.IntBetween(1, 6))
+		span += bt * 4
+		b.Task(names[i], bt, int64(r.IntBetween(0, 30)))
+	}
+	for to := 1; to < n; to++ {
+		for from := 0; from < to; from++ {
+			if r.Bool(0.3) {
+				tt := simtime.Time(r.IntBetween(0, 3))
+				span += tt
+				b.Edge(names[from]+names[to], names[from], names[to], tt, 1)
+			}
+		}
+	}
+	b.Deadline(span + simtime.Time(r.IntBetween(0, 20)))
+	return b.MustBuild()
+}
+
+func TestQuickBuildInvariants(t *testing.T) {
+	// Whenever Build succeeds: all tasks placed, precedence + transfers
+	// hold, no node double-booked, finish within deadline, reservations in
+	// the view match placements exactly.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		env := randomEnv(r)
+		job := randomJob(r)
+		cat := data.NewCatalog(data.Policy(r.Intn(3)), 0)
+		cals := EmptyCalendars(env)
+		// Random background load.
+		for i := 0; i < r.Intn(5); i++ {
+			n := resource.NodeID(r.Intn(env.NumNodes()))
+			st := simtime.Time(r.Intn(40))
+			_ = cals[n].Reserve(simtime.Interval{Start: st, End: st + simtime.Time(r.IntBetween(1, 10))}, resource.External)
+		}
+		s, err := Build(env, cals, job, Options{Catalog: cat, Mode: CollisionMode(r.Intn(2))})
+		if err != nil {
+			var inf *InfeasibleError
+			return errors.As(err, &inf) // only this failure is legitimate
+		}
+		if len(s.Placements) != job.NumTasks() {
+			return false
+		}
+		if s.Finish > job.Deadline {
+			return false
+		}
+		for _, e := range job.Edges() {
+			from, to := s.Placements[e.From], s.Placements[e.To]
+			tt := cat.TransferTime(job.Name, job.Task(e.From).Name, e.BaseTime, from.Node, to.Node)
+			if to.Window.Start < from.Window.End+tt {
+				return false
+			}
+		}
+		// Every placement must be present in the calendar view.
+		for id, p := range s.Placements {
+			found := false
+			for _, res := range cals[p.Node].Reservations() {
+				if res.Interval == p.Window && res.Owner.Task == job.Task(id).Name {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeterministic(t *testing.T) {
+	// Same inputs produce the identical schedule.
+	f := func(seed uint64) bool {
+		mk := func() (*Schedule, error) {
+			r := rng.New(seed)
+			env := randomEnv(r)
+			job := randomJob(r)
+			return Build(env, EmptyCalendars(env), job, Options{})
+		}
+		a, errA := mk()
+		b, errB := mk()
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		if a.BareCF != b.BareCF || a.Finish != b.Finish || a.Start != b.Start {
+			return false
+		}
+		for id, pa := range a.Placements {
+			pb := b.Placements[id]
+			if pa != pb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDelayNeverBeatsReallocate(t *testing.T) {
+	// For a single-chain job, the economic reallocation (full DP) never
+	// produces a later finish than the pinned-node delay baseline, and
+	// whenever delay succeeds, reallocate succeeds. (Multi-chain jobs can
+	// couple through earlier placements, so the guarantee is per chain.)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		env := randomEnv(r)
+		n := r.IntBetween(1, 6)
+		b := dag.NewBuilder("line")
+		var span simtime.Time
+		prev := ""
+		for i := 0; i < n; i++ {
+			name := string(rune('A' + i))
+			bt := simtime.Time(r.IntBetween(1, 6))
+			span += bt * 4
+			b.Task(name, bt, int64(r.IntBetween(0, 30)))
+			if prev != "" {
+				tt := simtime.Time(r.IntBetween(0, 3))
+				span += tt
+				b.Edge(prev+name, prev, name, tt, 1)
+			}
+			prev = name
+		}
+		b.Deadline(span + simtime.Time(r.IntBetween(0, 20)))
+		job := b.MustBuild()
+		re, errRe := Build(env, EmptyCalendars(env), job, Options{Mode: ResolveReallocate})
+		de, errDe := Build(env, EmptyCalendars(env), job, Options{Mode: ResolveDelay})
+		if errDe == nil && errRe != nil {
+			return false
+		}
+		if errRe != nil || errDe != nil {
+			return true
+		}
+		return re.Finish <= de.Finish
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

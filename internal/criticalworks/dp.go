@@ -1,0 +1,280 @@
+package criticalworks
+
+import (
+	"repro/internal/dag"
+	"repro/internal/economy"
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+// placeChain schedules one critical work: it computes the chain's ideal
+// placement on empty calendars (the placement the chain "attempts"), the
+// actual placement against the live calendar view, records a collision for
+// every task whose ideal slot is already reserved, and books the actual
+// reservations.
+func (b *builder) placeChain(chain dag.Chain) error {
+	ideal, ok := b.runDP(chain, true)
+	if !ok {
+		return &InfeasibleError{Job: b.opt.JobName, Task: b.job.Task(chain.Tasks[0]).Name}
+	}
+
+	var actual []Placement
+	switch b.opt.Mode {
+	case ResolveDelay:
+		actual, ok = b.delayOnIdealNodes(chain, ideal)
+	default:
+		actual, ok = b.runDP(chain, false)
+	}
+	if !ok {
+		return &InfeasibleError{Job: b.opt.JobName, Task: b.job.Task(chain.Tasks[0]).Name}
+	}
+
+	// A collision is an ideal slot that the live calendar cannot grant.
+	for _, p := range ideal {
+		if res, busy := b.cals[p.Node].ConflictWith(p.Window); busy {
+			b.colls = append(b.colls, Collision{
+				Task:   p.Task,
+				Node:   p.Node,
+				Window: p.Window,
+				Holder: res.Owner,
+			})
+		}
+	}
+
+	for _, p := range actual {
+		owner := resource.Owner{Job: b.opt.JobName, Task: b.job.Task(p.Task).Name}
+		if err := b.cals[p.Node].Reserve(p.Window, owner); err != nil {
+			return err // internal bug: DP chose an occupied slot
+		}
+		b.placed[p.Task] = p
+	}
+
+	// Commit data placements for every edge that just became fully placed,
+	// so later critical works of this job see the replicas.
+	for _, e := range b.job.Edges() {
+		from, okF := b.placed[e.From]
+		to, okT := b.placed[e.To]
+		if okF && okT {
+			b.opt.Catalog.Commit(b.opt.JobName, b.job.Task(e.From).Name, from.Node, to.Node)
+		}
+	}
+	return nil
+}
+
+// cell is one DP state: the best (cost, finish) for "chain prefix ending
+// with position i on node cands[c]".
+type cell struct {
+	ok            bool
+	cost          float64
+	start, finish simtime.Time
+	prev          int // candidate index at position i-1, -1 at i=0
+}
+
+// betterCell orders candidate states lexicographically according to the
+// configured objective: (finish, cost) for MinFinish, (cost, finish) for
+// MinCost.
+func (b *builder) betterCell(a, c cell) bool {
+	if !c.ok {
+		return a.ok
+	}
+	if !a.ok {
+		return false
+	}
+	if b.opt.Objective == MinCost {
+		if a.cost != c.cost {
+			return a.cost < c.cost
+		}
+		return a.finish < c.finish
+	}
+	if a.finish != c.finish {
+		return a.finish < c.finish
+	}
+	return a.cost < c.cost
+}
+
+// runDP finds the cost-minimal feasible placement of the chain. With
+// ignoreCalendar the search pretends every node is free (the "ideal"
+// attempt); otherwise starts come from the live calendars.
+func (b *builder) runDP(chain dag.Chain, ignoreCalendar bool) ([]Placement, bool) {
+	cands := b.opt.Candidates
+	L := len(chain.Tasks)
+	dp := make([][]cell, L)
+
+	for i := 0; i < L; i++ {
+		task := chain.Tasks[i]
+		dp[i] = make([]cell, len(cands))
+		var edgeIn dag.Edge
+		if i > 0 {
+			edgeIn = b.chainEdge(chain.Tasks[i-1], task)
+		}
+		for c, n := range cands {
+			node := b.env.Node(n)
+			dur := b.opt.Table.TimeOnNode(task, node)
+			if dur <= 0 {
+				continue
+			}
+			lft := b.lft(task, n)
+			best := cell{}
+			if i == 0 {
+				if st, fin, ok := b.fit(n, b.est(task, n), dur, lft, ignoreCalendar); ok {
+					best = cell{ok: true, cost: b.charge(task, dur, node), start: st, finish: fin, prev: -1}
+				}
+			} else {
+				for m, pn := range cands {
+					prevCell := dp[i-1][m]
+					if !prevCell.ok {
+						continue
+					}
+					earliest := prevCell.finish + b.transferTime(edgeIn, pn, n)
+					if e := b.est(task, n); e > earliest {
+						earliest = e
+					}
+					st, fin, ok := b.fit(n, earliest, dur, lft, ignoreCalendar)
+					if !ok {
+						continue
+					}
+					cand := cell{
+						ok:     true,
+						cost:   prevCell.cost + b.charge(task, dur, node),
+						start:  st,
+						finish: fin,
+						prev:   m,
+					}
+					if b.betterCell(cand, best) {
+						best = cand
+					}
+				}
+			}
+			dp[i][c] = best
+		}
+	}
+
+	// Select the best terminal state and backtrack.
+	final, finalIdx := cell{}, -1
+	for c := range cands {
+		if b.betterCell(dp[L-1][c], final) {
+			final = dp[L-1][c]
+			finalIdx = c
+		}
+	}
+	if finalIdx < 0 {
+		return nil, false
+	}
+	placements := make([]Placement, L)
+	for i, c := L-1, finalIdx; i >= 0; i-- {
+		st := dp[i][c]
+		placements[i] = Placement{
+			Task:   chain.Tasks[i],
+			Node:   cands[c],
+			Window: simtime.Interval{Start: st.start, End: st.finish},
+		}
+		c = st.prev
+	}
+	return placements, true
+}
+
+// delayOnIdealNodes is the E8 ablation baseline: keep every task on its
+// ideal node and only push it later until the calendar has room.
+func (b *builder) delayOnIdealNodes(chain dag.Chain, ideal []Placement) ([]Placement, bool) {
+	out := make([]Placement, len(ideal))
+	var prevFinish simtime.Time
+	var prevNode resource.NodeID
+	for i, p := range ideal {
+		task := p.Task
+		n := p.Node
+		node := b.env.Node(n)
+		dur := b.opt.Table.TimeOnNode(task, node)
+		earliest := b.est(task, n)
+		if i > 0 {
+			e := b.chainEdge(chain.Tasks[i-1], task)
+			if t := prevFinish + b.transferTime(e, prevNode, n); t > earliest {
+				earliest = t
+			}
+		}
+		st, fin, ok := b.fit(n, earliest, dur, b.lft(task, n), false)
+		if !ok {
+			return nil, false
+		}
+		out[i] = Placement{Task: task, Node: n, Window: simtime.Interval{Start: st, End: fin}}
+		prevFinish, prevNode = fin, n
+	}
+	return out, true
+}
+
+// fit finds the earliest start ≥ earliest for a reservation of length dur
+// on node n that finishes by lft.
+func (b *builder) fit(n resource.NodeID, earliest, dur, lft simtime.Time, ignoreCalendar bool) (start, finish simtime.Time, ok bool) {
+	b.evals++
+	if ignoreCalendar {
+		start = earliest
+	} else {
+		s, found := b.cals[n].FirstFree(earliest, dur, b.opt.Horizon)
+		if !found {
+			return 0, 0, false
+		}
+		start = s
+	}
+	finish = start + dur
+	if finish > lft {
+		return 0, 0, false
+	}
+	return start, finish, true
+}
+
+// charge is the per-task economic cost on a node.
+func (b *builder) charge(task dag.TaskID, dur simtime.Time, node *resource.Node) float64 {
+	return economy.WeightedTaskCharge(b.opt.Table.Volume(task), dur, b.opt.Pricing.Rate(node))
+}
+
+// est returns the earliest start of task on node n: the release time, the
+// optimistic upstream bound, and the hard constraints from already-placed
+// predecessors.
+func (b *builder) est(task dag.TaskID, n resource.NodeID) simtime.Time {
+	t := b.opt.Release + b.bestUp[task]
+	for _, e := range b.job.In(task) {
+		p, ok := b.placed[e.From]
+		if !ok {
+			continue
+		}
+		if cand := p.Window.End + b.transferTime(e, p.Node, n); cand > t {
+			t = cand
+		}
+	}
+	return t
+}
+
+// lft returns the latest finish of task on node n: the deadline tightened
+// by the optimistic downstream bound and by already-placed successors.
+func (b *builder) lft(task dag.TaskID, n resource.NodeID) simtime.Time {
+	t := b.opt.Deadline - b.bestDown[task]
+	for _, e := range b.job.Out(task) {
+		s, ok := b.placed[e.To]
+		if !ok {
+			continue
+		}
+		if cand := s.Window.Start - b.transferTime(e, n, s.Node); cand < t {
+			t = cand
+		}
+	}
+	return t
+}
+
+// chainEdge returns the connecting edge between two consecutive chain
+// tasks, preferring the cheapest transfer when parallel edges exist.
+func (b *builder) chainEdge(from, to dag.TaskID) dag.Edge {
+	var best dag.Edge
+	found := false
+	for _, e := range b.job.Out(from) {
+		if e.To != to {
+			continue
+		}
+		if !found || e.BaseTime < best.BaseTime {
+			best = e
+			found = true
+		}
+	}
+	if !found {
+		panic("criticalworks: chain tasks not connected") // LongestChain guarantees connectivity
+	}
+	return best
+}

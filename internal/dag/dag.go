@@ -1,0 +1,422 @@
+// Package dag models compound jobs as directed acyclic graphs of tasks
+// connected by data-transfer edges, following §3 of Toporkov (PaCT 2009):
+// vertices P1..PN are tasks, D1..DM are data transfers. The package provides
+// validation, topological ordering, chain (critical-work) enumeration and
+// the chain clustering used by coarse-grain strategies.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// TaskID identifies a task inside one Job; IDs are dense indices 0..N-1.
+type TaskID int
+
+// Task is a single unit of computation. BaseTime is the user's execution
+// time estimate on a reference (fastest, type-1) node; Volume is the
+// relative computation volume V_i used by the cost function CF.
+type Task struct {
+	ID       TaskID
+	Name     string
+	BaseTime simtime.Time
+	Volume   int64
+}
+
+// Edge is a data transfer between two tasks. BaseTime is the transfer time
+// between two distinct nodes under the neutral (remote-access) data policy;
+// Volume is the transferred data volume.
+type Edge struct {
+	Name     string
+	From, To TaskID
+	BaseTime simtime.Time
+	Volume   int64
+}
+
+// Job is an immutable compound job: a validated DAG of tasks and transfers
+// with a required completion deadline (the paper's "fixed completion time").
+type Job struct {
+	Name     string
+	Deadline simtime.Time
+
+	tasks []Task
+	edges []Edge
+
+	succ [][]int // task -> indices into edges (outgoing)
+	pred [][]int // task -> indices into edges (incoming)
+	topo []TaskID
+}
+
+// Builder assembles a Job. Methods panic on structural misuse (duplicate
+// task names, unknown endpoints) because job construction in this codebase
+// is always programmatic; Build returns an error for graph-level problems
+// (cycles, emptiness) that can depend on runtime data.
+type Builder struct {
+	name     string
+	deadline simtime.Time
+	tasks    []Task
+	edges    []Edge
+	byName   map[string]TaskID
+}
+
+// NewBuilder starts a job named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]TaskID)}
+}
+
+// Deadline sets the job's required completion time.
+func (b *Builder) Deadline(d simtime.Time) *Builder {
+	b.deadline = d
+	return b
+}
+
+// Task adds a task and returns its ID. baseTime must be positive and volume
+// non-negative.
+func (b *Builder) Task(name string, baseTime simtime.Time, volume int64) TaskID {
+	if _, dup := b.byName[name]; dup {
+		panic(fmt.Sprintf("dag: duplicate task %q", name))
+	}
+	if baseTime <= 0 {
+		panic(fmt.Sprintf("dag: task %q has non-positive base time %d", name, baseTime))
+	}
+	if volume < 0 {
+		panic(fmt.Sprintf("dag: task %q has negative volume %d", name, volume))
+	}
+	id := TaskID(len(b.tasks))
+	b.tasks = append(b.tasks, Task{ID: id, Name: name, BaseTime: baseTime, Volume: volume})
+	b.byName[name] = id
+	return id
+}
+
+// Edge adds a data transfer from task `from` to task `to` (by name).
+func (b *Builder) Edge(name, from, to string, baseTime simtime.Time, volume int64) *Builder {
+	f, ok := b.byName[from]
+	if !ok {
+		panic(fmt.Sprintf("dag: edge %q references unknown task %q", name, from))
+	}
+	t, ok := b.byName[to]
+	if !ok {
+		panic(fmt.Sprintf("dag: edge %q references unknown task %q", name, to))
+	}
+	if f == t {
+		panic(fmt.Sprintf("dag: edge %q is a self-loop on %q", name, from))
+	}
+	if baseTime < 0 || volume < 0 {
+		panic(fmt.Sprintf("dag: edge %q has negative weight", name))
+	}
+	b.edges = append(b.edges, Edge{Name: name, From: f, To: t, BaseTime: baseTime, Volume: volume})
+	return b
+}
+
+// Build validates the graph and returns the immutable Job.
+func (b *Builder) Build() (*Job, error) {
+	if len(b.tasks) == 0 {
+		return nil, fmt.Errorf("dag: job %q has no tasks", b.name)
+	}
+	j := &Job{
+		Name:     b.name,
+		Deadline: b.deadline,
+		tasks:    append([]Task(nil), b.tasks...),
+		edges:    append([]Edge(nil), b.edges...),
+	}
+	j.succ = make([][]int, len(j.tasks))
+	j.pred = make([][]int, len(j.tasks))
+	for i, e := range j.edges {
+		j.succ[e.From] = append(j.succ[e.From], i)
+		j.pred[e.To] = append(j.pred[e.To], i)
+	}
+	topo, err := j.computeTopo()
+	if err != nil {
+		return nil, err
+	}
+	j.topo = topo
+	return j, nil
+}
+
+// MustBuild is Build that panics on error, for statically known-good graphs.
+func (b *Builder) MustBuild() *Job {
+	j, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// computeTopo returns a deterministic topological order (Kahn's algorithm,
+// ties broken by ascending TaskID) or an error naming a task on a cycle.
+func (j *Job) computeTopo() ([]TaskID, error) {
+	indeg := make([]int, len(j.tasks))
+	for _, e := range j.edges {
+		indeg[e.To]++
+	}
+	var ready []TaskID
+	for id := range j.tasks {
+		if indeg[id] == 0 {
+			ready = append(ready, TaskID(id))
+		}
+	}
+	var order []TaskID
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool { return ready[a] < ready[b] })
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, ei := range j.succ[id] {
+			to := j.edges[ei].To
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+			}
+		}
+	}
+	if len(order) != len(j.tasks) {
+		for id, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("dag: job %q has a cycle through task %q", j.Name, j.tasks[id].Name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// WithDeadline returns a copy of the job that differs only in its
+// deadline; the underlying immutable graph is shared.
+func (j *Job) WithDeadline(d simtime.Time) *Job {
+	cp := *j
+	cp.Deadline = d
+	return &cp
+}
+
+// NumTasks returns the number of tasks in the job.
+func (j *Job) NumTasks() int { return len(j.tasks) }
+
+// NumEdges returns the number of data-transfer edges.
+func (j *Job) NumEdges() int { return len(j.edges) }
+
+// Task returns the task with the given ID.
+func (j *Job) Task(id TaskID) Task { return j.tasks[id] }
+
+// Tasks returns all tasks in ID order (a copy).
+func (j *Job) Tasks() []Task { return append([]Task(nil), j.tasks...) }
+
+// Edges returns all edges (a copy).
+func (j *Job) Edges() []Edge { return append([]Edge(nil), j.edges...) }
+
+// TaskByName returns the task with the given name.
+func (j *Job) TaskByName(name string) (Task, bool) {
+	for _, t := range j.tasks {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+// TopoOrder returns a deterministic topological order of the task IDs.
+func (j *Job) TopoOrder() []TaskID { return append([]TaskID(nil), j.topo...) }
+
+// Out returns the outgoing edges of a task.
+func (j *Job) Out(id TaskID) []Edge {
+	out := make([]Edge, 0, len(j.succ[id]))
+	for _, ei := range j.succ[id] {
+		out = append(out, j.edges[ei])
+	}
+	return out
+}
+
+// In returns the incoming edges of a task.
+func (j *Job) In(id TaskID) []Edge {
+	in := make([]Edge, 0, len(j.pred[id]))
+	for _, ei := range j.pred[id] {
+		in = append(in, j.edges[ei])
+	}
+	return in
+}
+
+// Sources returns tasks with no predecessors, in ID order.
+func (j *Job) Sources() []TaskID {
+	var out []TaskID
+	for id := range j.tasks {
+		if len(j.pred[id]) == 0 {
+			out = append(out, TaskID(id))
+		}
+	}
+	return out
+}
+
+// Sinks returns tasks with no successors, in ID order.
+func (j *Job) Sinks() []TaskID {
+	var out []TaskID
+	for id := range j.tasks {
+		if len(j.succ[id]) == 0 {
+			out = append(out, TaskID(id))
+		}
+	}
+	return out
+}
+
+// TotalVolume returns the sum of task computation volumes.
+func (j *Job) TotalVolume() int64 {
+	var v int64
+	for _, t := range j.tasks {
+		v += t.Volume
+	}
+	return v
+}
+
+// Chain is a source-to-sink path through the job: the unit the critical
+// works method schedules. Length is the chain's estimated duration under
+// the weight function used to find it.
+type Chain struct {
+	Tasks  []TaskID
+	Length simtime.Time
+}
+
+// WeightFunc gives the estimated duration of a task and of a transfer edge
+// for chain-length purposes. Either function may be nil, meaning "use the
+// base estimate".
+type WeightFunc struct {
+	Task func(Task) simtime.Time
+	Edge func(Edge) simtime.Time
+}
+
+func (w WeightFunc) task(t Task) simtime.Time {
+	if w.Task == nil {
+		return t.BaseTime
+	}
+	return w.Task(t)
+}
+
+func (w WeightFunc) edge(e Edge) simtime.Time {
+	if w.Edge == nil {
+		return e.BaseTime
+	}
+	return w.Edge(e)
+}
+
+// LongestChain returns the longest (by weight) chain through the tasks for
+// which include returns true (include==nil means all tasks). Edges to or
+// from excluded tasks still contribute their transfer weight when both
+// endpoints are included; chains never pass through excluded tasks.
+// Returns ok=false when no included task exists.
+//
+// This is the "next critical work" search of the method's phase loop:
+// weights are the fastest-node estimates plus data transfer times, and
+// already-assigned tasks are excluded.
+func (j *Job) LongestChain(w WeightFunc, include func(TaskID) bool) (Chain, bool) {
+	incl := func(id TaskID) bool { return include == nil || include(id) }
+	// dist[id] = best chain length ending at id (inclusive of id's weight);
+	// prev[id] = predecessor on that chain, or -1.
+	dist := make([]simtime.Time, len(j.tasks))
+	prev := make([]int, len(j.tasks))
+	any := false
+	for i := range prev {
+		prev[i] = -1
+		dist[i] = -1
+	}
+	for _, id := range j.topo {
+		if !incl(id) {
+			continue
+		}
+		any = true
+		base := w.task(j.tasks[id])
+		if dist[id] < base {
+			dist[id] = base
+			prev[id] = -1
+		}
+		for _, ei := range j.succ[id] {
+			e := j.edges[ei]
+			if !incl(e.To) {
+				continue
+			}
+			cand := dist[id] + w.edge(e) + w.task(j.tasks[e.To])
+			if cand > dist[e.To] || (cand == dist[e.To] && better(prev[e.To], int(id))) {
+				dist[e.To] = cand
+				prev[e.To] = int(id)
+			}
+		}
+	}
+	if !any {
+		return Chain{}, false
+	}
+	// Pick the best terminal deterministically: max length, then min ID.
+	best := -1
+	for id := range j.tasks {
+		if !incl(TaskID(id)) || dist[id] < 0 {
+			continue
+		}
+		if best == -1 || dist[id] > dist[best] || (dist[id] == dist[best] && id < best) {
+			best = id
+		}
+	}
+	var rev []TaskID
+	for cur := best; cur != -1; cur = prev[cur] {
+		rev = append(rev, TaskID(cur))
+	}
+	tasks := make([]TaskID, len(rev))
+	for i := range rev {
+		tasks[i] = rev[len(rev)-1-i]
+	}
+	return Chain{Tasks: tasks, Length: dist[best]}, true
+}
+
+// better is the deterministic tie-break for equal-length chains: prefer the
+// smaller predecessor ID (with -1 meaning "no predecessor", preferred last).
+func better(old, cand int) bool {
+	if old == -1 {
+		return false
+	}
+	return cand < old
+}
+
+// AllChains enumerates every source-to-sink chain with its weighted length,
+// sorted by descending length (ties by lexicographic task order). The
+// number of chains can be exponential in the DAG size; callers use this
+// only on small graphs (e.g. the paper's Fig. 2 example) and in tests.
+func (j *Job) AllChains(w WeightFunc) []Chain {
+	var out []Chain
+	var walk func(id TaskID, path []TaskID, length simtime.Time)
+	walk = func(id TaskID, path []TaskID, length simtime.Time) {
+		path = append(path, id)
+		length += w.task(j.tasks[id])
+		if len(j.succ[id]) == 0 {
+			out = append(out, Chain{Tasks: append([]TaskID(nil), path...), Length: length})
+			return
+		}
+		for _, ei := range j.succ[id] {
+			e := j.edges[ei]
+			walk(e.To, path, length+w.edge(e))
+		}
+	}
+	for _, s := range j.Sources() {
+		walk(s, nil, 0)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Length != out[b].Length {
+			return out[a].Length > out[b].Length
+		}
+		return lessTaskSeq(out[a].Tasks, out[b].Tasks)
+	})
+	return out
+}
+
+func lessTaskSeq(a, b []TaskID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// CriticalPathLength returns the weight of the longest chain in the whole
+// job — the lower bound on the job's makespan on unlimited fastest nodes.
+func (j *Job) CriticalPathLength(w WeightFunc) simtime.Time {
+	c, ok := j.LongestChain(w, nil)
+	if !ok {
+		return 0
+	}
+	return c.Length
+}

@@ -1,0 +1,29 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	j := fig2Job(t)
+	var b strings.Builder
+	if err := j.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "fig2" {`,
+		`"P1" [label="P1\nT=2 V=20"]`,
+		`"P1" -> "P2" [label="D1 (1)"]`,
+		`"P5" -> "P6" [label="D8 (1)"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Every task and edge appears.
+	if got := strings.Count(out, "->"); got != j.NumEdges() {
+		t.Errorf("edges rendered = %d, want %d", got, j.NumEdges())
+	}
+}

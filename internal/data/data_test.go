@@ -1,0 +1,166 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+func TestSameNodeStillPays(t *testing.T) {
+	// Transfers are explicit pipeline stages (see Fig. 2(b)): co-location
+	// does not waive them.
+	tests := []struct {
+		p    Policy
+		want simtime.Time
+	}{
+		{ActiveReplication, 6}, // ceil(3*8/4)
+		{RemoteAccess, 8},
+		{StaticStorage, 8}, // two half-legs through storage node 9
+	}
+	for _, tt := range tests {
+		c := NewCatalog(tt.p, 9)
+		if got := c.TransferTime("j", "P1", 8, 3, 3); got != tt.want {
+			t.Errorf("%v: same-node transfer = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRemoteAccessAlwaysFullCost(t *testing.T) {
+	c := NewCatalog(RemoteAccess, 0)
+	if got := c.TransferTime("j", "P1", 6, 0, 1); got != 6 {
+		t.Errorf("first transfer = %d, want 6", got)
+	}
+	c.Commit("j", "P1", 0, 1)
+	if got := c.TransferTime("j", "P1", 6, 0, 1); got != 6 {
+		t.Errorf("repeat transfer = %d, want 6 (no caching)", got)
+	}
+}
+
+func TestActiveReplicationHalvesAndCaches(t *testing.T) {
+	c := NewCatalog(ActiveReplication, 0)
+	if got := c.TransferTime("j", "P1", 7, 0, 1); got != 6 { // ceil(3*7/4)
+		t.Errorf("first transfer = %d, want 6", got)
+	}
+	c.Commit("j", "P1", 0, 1)
+	if got := c.TransferTime("j", "P1", 7, 0, 1); got != 0 {
+		t.Errorf("replicated transfer = %d, want 0", got)
+	}
+	// A different destination still pays.
+	if got := c.TransferTime("j", "P1", 7, 0, 2); got != 6 {
+		t.Errorf("new destination = %d, want 6", got)
+	}
+	// A different job's same-named dataset is a different dataset.
+	if got := c.TransferTime("k", "P1", 7, 0, 1); got != 6 {
+		t.Errorf("other job = %d, want 6", got)
+	}
+	// A different dataset of the same job still pays.
+	if got := c.TransferTime("j", "P2", 7, 0, 1); got != 6 {
+		t.Errorf("other dataset = %d, want 6", got)
+	}
+}
+
+func TestFanOutSharesDataset(t *testing.T) {
+	// Two consumers of P1's output on the same node: the second read is
+	// free once the first transfer committed (the paper's replication win).
+	c := NewCatalog(ActiveReplication, 0)
+	if got := c.TransferTime("j", "P1", 10, 0, 3); got != 8 {
+		t.Fatalf("first consumer pays %d, want 8", got)
+	}
+	c.Commit("j", "P1", 0, 3)
+	if got := c.TransferTime("j", "P1", 10, 0, 3); got != 0 {
+		t.Errorf("second consumer pays %d, want 0", got)
+	}
+}
+
+func TestStaticStorageLegs(t *testing.T) {
+	const storage = resource.NodeID(5)
+	c := NewCatalog(StaticStorage, storage)
+	tests := []struct {
+		from, to resource.NodeID
+		want     simtime.Time
+	}{
+		{0, 1, 4},       // two half-legs: 2 + 2
+		{storage, 1, 2}, // producer on storage
+		{0, storage, 2}, // consumer on storage
+		{2, 2, 4},       // same node still stages through storage
+		{storage, storage, 0},
+	}
+	for _, tt := range tests {
+		if got := c.TransferTime("j", "P1", 3, tt.from, tt.to); got != tt.want {
+			t.Errorf("TransferTime(%d→%d) = %d, want %d", tt.from, tt.to, got, tt.want)
+		}
+	}
+}
+
+func TestCommitRegistersReplicas(t *testing.T) {
+	c := NewCatalog(StaticStorage, 5)
+	c.Commit("j", "P1", 0, 1)
+	got := c.Replicas(DatasetID{Job: "j", Dataset: "P1"})
+	want := []resource.NodeID{0, 1, 5} // includes the storage node
+	if len(got) != len(want) {
+		t.Fatalf("Replicas = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Replicas = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := NewCatalog(ActiveReplication, 0)
+	c.Commit("j", "P1", 0, 1)
+	c.Commit("k", "P1", 0, 1)
+	c.Forget("j")
+	if c.Replicas(DatasetID{Job: "j", Dataset: "P1"}) != nil {
+		t.Error("forgotten job still has replicas")
+	}
+	if c.Replicas(DatasetID{Job: "k", Dataset: "P1"}) == nil {
+		t.Error("Forget removed another job's replicas")
+	}
+	if got := c.TransferTime("j", "P1", 4, 0, 1); got != 3 {
+		t.Errorf("after Forget transfer = %d, want 3", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if ActiveReplication.String() != "active-replication" ||
+		RemoteAccess.String() != "remote-access" ||
+		StaticStorage.String() != "static-storage" {
+		t.Error("policy names changed")
+	}
+}
+
+func TestQuickPolicyOrdering(t *testing.T) {
+	// For any base time and distinct uncached nodes (none being storage):
+	// replication ≤ remote, static ≈ remote (two half-legs), all
+	// non-negative.
+	f := func(base uint16) bool {
+		b := simtime.Time(base % 1000)
+		ar := NewCatalog(ActiveReplication, 99).TransferTime("j", "D", b, 0, 1)
+		ra := NewCatalog(RemoteAccess, 99).TransferTime("j", "D", b, 0, 1)
+		ss := NewCatalog(StaticStorage, 99).TransferTime("j", "D", b, 0, 1)
+		return ar >= 0 && ar <= ra && ss <= ra+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReplicationIdempotent(t *testing.T) {
+	// After Commit, transfers to the committed destination are free,
+	// regardless of how many times Commit runs and where data comes from.
+	f := func(base uint16, reps uint8) bool {
+		b := simtime.Time(base%100) + 1
+		c := NewCatalog(ActiveReplication, 0)
+		for i := 0; i < int(reps%5)+1; i++ {
+			c.Commit("j", "D", 0, 1)
+		}
+		return c.TransferTime("j", "D", b, 0, 1) == 0 && c.TransferTime("j", "D", b, 2, 1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package economy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+func TestTaskCharge(t *testing.T) {
+	tests := []struct {
+		v    int64
+		t    simtime.Time
+		want int64
+	}{
+		{20, 2, 10},
+		{30, 3, 10},
+		{10, 3, 4}, // ceil(3.33)
+		{20, 6, 4}, // ceil(3.33)
+		{10, 4, 3}, // ceil(2.5)
+		{0, 5, 0},
+		{1, 1, 1},
+		{7, 2, 4},
+	}
+	for _, tt := range tests {
+		if got := TaskCharge(tt.v, tt.t); got != tt.want {
+			t.Errorf("TaskCharge(%d,%d) = %d, want %d", tt.v, tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestTaskChargePanicsOnZeroTime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero load time")
+		}
+	}()
+	TaskCharge(5, 0)
+}
+
+func TestPricing(t *testing.T) {
+	fast := resource.NewNode(0, "f", 1.0, 0, "d")
+	slow := resource.NewNode(1, "s", 0.25, 0, "d")
+	flat := FlatPricing{PerTick: 1}
+	if flat.Rate(fast) != 1 || flat.Rate(slow) != 1 {
+		t.Error("flat pricing not flat")
+	}
+	perf := PerformancePricing{Base: 4}
+	if perf.Rate(fast) != 4 {
+		t.Errorf("perf rate fast = %v", perf.Rate(fast))
+	}
+	if perf.Rate(slow) != 1 {
+		t.Errorf("perf rate slow = %v", perf.Rate(slow))
+	}
+}
+
+func TestWeightedTaskCharge(t *testing.T) {
+	if got := WeightedTaskCharge(20, 2, 1.5); got != 15 {
+		t.Errorf("WeightedTaskCharge = %v, want 15", got)
+	}
+}
+
+func TestBudgetLifecycle(t *testing.T) {
+	b := NewBudget(100)
+	if !b.CanAfford(100) || b.CanAfford(101) {
+		t.Error("CanAfford wrong at boundary")
+	}
+	if err := b.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 40 || b.Spent() != 60 {
+		t.Errorf("Remaining/Spent = %v/%v", b.Remaining(), b.Spent())
+	}
+	if err := b.Charge(50); err == nil {
+		t.Error("overdraft allowed")
+	}
+	if err := b.Refund(10); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remaining() != 50 {
+		t.Errorf("after refund Remaining = %v", b.Remaining())
+	}
+	if err := b.Refund(100); err == nil {
+		t.Error("over-refund allowed")
+	}
+	if err := b.Charge(-1); err == nil {
+		t.Error("negative charge allowed")
+	}
+	if err := b.Refund(-1); err == nil {
+		t.Error("negative refund allowed")
+	}
+	b.Grant(25)
+	if b.Remaining() != 75 {
+		t.Errorf("after grant Remaining = %v", b.Remaining())
+	}
+}
+
+func TestGrantPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative grant did not panic")
+		}
+	}()
+	NewBudget(1).Grant(-5)
+}
+
+func TestQuickTaskChargeCeiling(t *testing.T) {
+	// TaskCharge is the exact ceiling of V/T: charge-1 < V/T <= charge.
+	f := func(v uint32, tt uint16) bool {
+		vol := int64(v % 100000)
+		lt := simtime.Time(tt%1000) + 1
+		got := TaskCharge(vol, lt)
+		if got < 0 {
+			return false
+		}
+		return got*int64(lt) >= vol && (got-1)*int64(lt) < vol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChargeFasterCostsMore(t *testing.T) {
+	// For fixed volume, a shorter load time never lowers the bare charge —
+	// the paper's "pay more to run faster".
+	f := func(v uint16, a, b uint8) bool {
+		vol := int64(v%1000) + 1
+		t1 := simtime.Time(a%50) + 1
+		t2 := simtime.Time(b%50) + 1
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return TaskCharge(vol, t1) >= TaskCharge(vol, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBudgetNeverNegative(t *testing.T) {
+	f := func(ops []uint8) bool {
+		b := NewBudget(50)
+		for _, op := range ops {
+			amt := float64(op % 30)
+			if op%2 == 0 {
+				_ = b.Charge(amt)
+			} else {
+				_ = b.Refund(amt)
+			}
+			if b.Remaining() < 0 || b.Spent() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

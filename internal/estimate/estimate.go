@@ -1,0 +1,124 @@
+// Package estimate models the user estimations of §3: for every task of a
+// compound job, an execution-time estimate per processor-node type
+// (T_i1..T_i4, tier 1 = fastest) and a relative computation volume V_i.
+//
+// Planning (strategy construction, reservations) always uses these
+// tier-quantized user estimates; the actual execution time on a concrete
+// node is derived from its continuous relative performance and generally
+// differs, which is exactly the forecast error the paper studies in
+// Fig. 4c ("actual solving time Ti for a task can be different from user
+// estimation Tij").
+package estimate
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+// Row is one line of the estimation table: the per-tier time estimates and
+// the computation volume of a single task.
+type Row struct {
+	Times  [resource.NumTiers]simtime.Time
+	Volume int64
+}
+
+// Table is a job's complete estimation table.
+type Table struct {
+	rows map[dag.TaskID]Row
+}
+
+// Derive builds the canonical table from a job's base estimates the way the
+// paper's Fig. 2 table is built: T_ik = k × T_i1, V from the task volume.
+func Derive(job *dag.Job) *Table {
+	t := &Table{rows: make(map[dag.TaskID]Row, job.NumTasks())}
+	for _, task := range job.Tasks() {
+		var row Row
+		for k := 0; k < resource.NumTiers; k++ {
+			row.Times[k] = task.BaseTime * simtime.Time(k+1)
+		}
+		row.Volume = task.Volume
+		t.rows[task.ID] = row
+	}
+	return t
+}
+
+// New returns an empty table; rows must be added with SetRow.
+func New() *Table {
+	return &Table{rows: make(map[dag.TaskID]Row)}
+}
+
+// SetRow installs or replaces the estimates for one task. Estimates must be
+// positive and non-decreasing across tiers (a slower node type can never
+// have a smaller estimate).
+func (t *Table) SetRow(id dag.TaskID, row Row) error {
+	for k := 0; k < resource.NumTiers; k++ {
+		if row.Times[k] <= 0 {
+			return fmt.Errorf("estimate: task %d tier %d has non-positive time %d", id, k+1, row.Times[k])
+		}
+		if k > 0 && row.Times[k] < row.Times[k-1] {
+			return fmt.Errorf("estimate: task %d estimates decrease from tier %d to %d", id, k, k+1)
+		}
+	}
+	if row.Volume < 0 {
+		return fmt.Errorf("estimate: task %d has negative volume", id)
+	}
+	t.rows[id] = row
+	return nil
+}
+
+// Has reports whether the table has a row for the task.
+func (t *Table) Has(id dag.TaskID) bool {
+	_, ok := t.rows[id]
+	return ok
+}
+
+// Time returns the user estimate for the task on a node of the given tier.
+// It panics when the task has no row — the table must cover the whole job.
+func (t *Table) Time(id dag.TaskID, tier resource.Tier) simtime.Time {
+	row, ok := t.rows[id]
+	if !ok {
+		panic(fmt.Sprintf("estimate: no row for task %d", id))
+	}
+	if tier < 1 {
+		tier = 1
+	}
+	if tier > resource.NumTiers {
+		tier = resource.NumTiers
+	}
+	return row.Times[tier-1]
+}
+
+// TimeOnNode returns the user estimate applied to a concrete node: the
+// estimate of the node's tier.
+func (t *Table) TimeOnNode(id dag.TaskID, n *resource.Node) simtime.Time {
+	return t.Time(id, n.Tier())
+}
+
+// Volume returns the task's computation volume V_i.
+func (t *Table) Volume(id dag.TaskID) int64 {
+	row, ok := t.rows[id]
+	if !ok {
+		panic(fmt.Sprintf("estimate: no row for task %d", id))
+	}
+	return row.Volume
+}
+
+// Best returns the fastest (tier-1) estimate for the task, the weight used
+// when searching critical works.
+func (t *Table) Best(id dag.TaskID) simtime.Time { return t.Time(id, 1) }
+
+// Worst returns the slowest (tier-NumTiers) estimate.
+func (t *Table) Worst(id dag.TaskID) simtime.Time { return t.Time(id, resource.NumTiers) }
+
+// CoversJob verifies that every task of the job has a row.
+func (t *Table) CoversJob(job *dag.Job) error {
+	for _, task := range job.Tasks() {
+		if !t.Has(task.ID) {
+			return fmt.Errorf("estimate: table missing task %q", task.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/criticalworks"
+	"repro/internal/metrics"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// AblationCollision (E8) isolates the paper's collision-resolution design
+// choice (§3): resolving a blocked critical work by economic reallocation
+// — the DP is free to pay for another node — versus the naive baseline
+// that only ever delays the task on its ideal node.
+func AblationCollision(cfg Fig3Config) (*Report, error) {
+	r := newReport("ablation-collision",
+		"collision resolution: economic reallocation vs pinned-node delay (§3 design choice)")
+	wcfg := fig3WorkloadConfig(cfg)
+	gen := workload.New(wcfg)
+	env := gen.Environment(1)
+
+	type stats struct {
+		admissible int
+		finish     metrics.Series
+		cost       metrics.Series
+	}
+	run := func(mode criticalworks.CollisionMode) *stats {
+		sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost, Mode: mode}
+		bg := fig3Background(cfg)
+		st := &stats{}
+		for i := 0; i < cfg.Jobs; i++ {
+			job := gen.Job(i)
+			cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
+			s, err := sgen.Generate(job, strategy.S2, cals, 0)
+			if err != nil {
+				continue
+			}
+			if !s.Admissible() {
+				continue
+			}
+			st.admissible++
+			d := s.CheapestAdmissible()
+			st.finish.AddInt(int64(d.Finish))
+			st.cost.AddInt(d.BareCF)
+		}
+		return st
+	}
+
+	realloc := run(criticalworks.ResolveReallocate)
+	delay := run(criticalworks.ResolveDelay)
+	r.addLine("%-22s %12s %12s %10s", "mode", "admissible", "mean-finish", "mean-CF")
+	for _, row := range []struct {
+		name string
+		st   *stats
+	}{{"economic-reallocation", realloc}, {"pinned-node-delay", delay}} {
+		share := float64(row.st.admissible) / float64(cfg.Jobs)
+		r.addLine("%-22s %12s %12.1f %10.1f", row.name, metrics.Ratio(share),
+			row.st.finish.Mean(), row.st.cost.Mean())
+		r.Values["admissible-"+row.name] = share
+		r.Values["finish-"+row.name] = row.st.finish.Mean()
+		r.Values["cf-"+row.name] = row.st.cost.Mean()
+	}
+	return r, nil
+}
+
+// DefaultAblationLevels returns the E9 configuration: the Fig. 3 corpus
+// with looser deadlines, so that the intermediate estimation levels are
+// actually admissible and the S1-vs-MS1 coverage difference is visible.
+func DefaultAblationLevels(seed uint64, jobs int) Fig3Config {
+	cfg := DefaultFig3(seed, jobs)
+	cfg.DeadlineFactor = 1.9
+	cfg.BackgroundPerNode = 4
+	return cfg
+}
+
+// AblationLevels (E9) quantifies §4's S1-vs-MS1 trade-off: sweeping only
+// the best- and worst-case estimation levels (MS1) is cheaper to generate
+// but covers fewer environment events than the full sweep (S1).
+func AblationLevels(cfg Fig3Config) (*Report, error) {
+	r := newReport("ablation-levels",
+		"strategy breadth: full level sweep (S1) vs best/worst only (MS1) (§4)")
+	wcfg := fig3WorkloadConfig(cfg)
+	gen := workload.New(wcfg)
+	env := gen.Environment(1)
+	sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost}
+
+	type stats struct {
+		admissible  int
+		evaluations int64
+		dists       int
+	}
+	out := map[strategy.Type]*stats{strategy.S1: {}, strategy.MS1: {}}
+	bg := fig3Background(cfg)
+	for i := 0; i < cfg.Jobs; i++ {
+		job := gen.Job(i)
+		cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
+		for _, typ := range []strategy.Type{strategy.S1, strategy.MS1} {
+			s, err := sgen.Generate(job, typ, cals, 0)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation-levels job %d: %w", i, err)
+			}
+			st := out[typ]
+			if s.Admissible() {
+				st.admissible++
+			}
+			st.evaluations += s.Evaluations
+			for _, d := range s.Distributions {
+				if d.Admissible {
+					st.dists++
+				}
+			}
+		}
+	}
+	r.addLine("%-6s %12s %16s %18s", "type", "admissible", "DP-evaluations", "admissible-levels")
+	for _, typ := range []strategy.Type{strategy.S1, strategy.MS1} {
+		st := out[typ]
+		share := float64(st.admissible) / float64(cfg.Jobs)
+		r.addLine("%-6s %12s %16d %18.2f", typ, metrics.Ratio(share),
+			st.evaluations, float64(st.dists)/float64(cfg.Jobs))
+		r.Values["admissible-"+typ.String()] = share
+		r.Values["evaluations-"+typ.String()] = float64(st.evaluations)
+		r.Values["levels-"+typ.String()] = float64(st.dists) / float64(cfg.Jobs)
+	}
+	return r, nil
+}

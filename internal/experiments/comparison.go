@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"errors"
+
+	"repro/internal/baseline"
+	"repro/internal/criticalworks"
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Comparison (E10) pits the critical works method against the classic
+// list-scheduling heuristics of the [13] family (Min-Min, Max-Min,
+// Sufferage, OLB) on the Fig. 3 corpus: same jobs, same background load,
+// same substrates — only the allocation logic differs. The method's claim
+// to earn its complexity is higher deadline admissibility (its DP search
+// plus collision reallocation) at comparable or better economic cost.
+func Comparison(cfg Fig3Config) (*Report, error) {
+	r := newReport("comparison",
+		"critical works vs classic heuristics ([13] family) on the Fig. 3 corpus")
+	gen := workload.New(fig3WorkloadConfig(cfg))
+	env := gen.Environment(1)
+
+	names := []string{"critical-works", "critical-works-mincost"}
+	for _, h := range baseline.Heuristics {
+		names = append(names, h.String())
+	}
+	out := make(map[string]*comparisonStats, len(names))
+	for _, n := range names {
+		out[n] = &comparisonStats{}
+	}
+
+	bg := fig3Background(cfg)
+	for i := 0; i < cfg.Jobs; i++ {
+		job := gen.Job(i)
+		cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
+
+		// The critical works method, remote-access policy (S2's), so the
+		// comparison is free of replication advantages.
+		cw, err := criticalworks.Build(env, cloneCalendarsView(cals), job, criticalworks.Options{
+			Catalog: data.NewCatalog(data.RemoteAccess, 0),
+		})
+		out["critical-works"].record(cw, err == nil && cw != nil && cw.MeetsDeadline())
+		if err != nil {
+			var inf *criticalworks.InfeasibleError
+			if !errors.As(err, &inf) {
+				return nil, err
+			}
+		}
+
+		// The MinCost variant — deadline-constrained cost minimization —
+		// is the capability the ECT heuristics cannot express at all.
+		cwc, err := criticalworks.Build(env, cloneCalendarsView(cals), job, criticalworks.Options{
+			Catalog:   data.NewCatalog(data.RemoteAccess, 0),
+			Objective: criticalworks.MinCost,
+		})
+		out["critical-works-mincost"].record(cwc, err == nil && cwc != nil && cwc.MeetsDeadline())
+		if err != nil {
+			var inf *criticalworks.InfeasibleError
+			if !errors.As(err, &inf) {
+				return nil, err
+			}
+		}
+
+		for _, h := range baseline.Heuristics {
+			s, err := baseline.Build(env, cloneCalendarsView(cals), job, h, baseline.Options{
+				Catalog: data.NewCatalog(data.RemoteAccess, 0),
+			})
+			out[h.String()].record(s, err == nil && s.MeetsDeadline())
+			if err != nil {
+				var inf *baseline.InfeasibleError
+				if !errors.As(err, &inf) {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	r.addLine("%-16s %12s %12s %10s", "scheduler", "admissible", "mean-finish", "mean-CF")
+	for _, n := range names {
+		st := out[n]
+		share := float64(st.admissible) / float64(cfg.Jobs)
+		r.addLine("%-16s %12s %12.1f %10.1f", n, metrics.Ratio(share), st.finish.Mean(), st.cost.Mean())
+		r.Values["admissible-"+n] = share
+		r.Values["finish-"+n] = st.finish.Mean()
+		r.Values["cf-"+n] = st.cost.Mean()
+	}
+	return r, nil
+}
+
+// comparisonStats accumulates one scheduler's outcomes.
+type comparisonStats struct {
+	admissible int
+	finish     metrics.Series
+	cost       metrics.Series
+}
+
+func (st *comparisonStats) record(s *criticalworks.Schedule, ok bool) {
+	if !ok || s == nil {
+		return
+	}
+	st.admissible++
+	st.finish.AddInt(int64(s.Finish))
+	st.cost.AddInt(s.BareCF)
+}
+
+func cloneCalendarsView(cals criticalworks.Calendars) criticalworks.Calendars {
+	out := make(criticalworks.Calendars, len(cals))
+	for id, c := range cals {
+		out[id] = c.Clone()
+	}
+	return out
+}

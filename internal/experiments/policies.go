@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+)
+
+// PoliciesConfig parameterizes the §5 local-queue study: the paper's
+// conclusions compare FCFS, LWF and backfilling, and observe that advance
+// reservations "nearly always increase queue waiting time" while
+// "backfilling decreases this time".
+type PoliciesConfig struct {
+	Seed     uint64
+	Jobs     int
+	Nodes    int
+	MeanGap  float64 // mean inter-arrival
+	WallLo   simtime.Time
+	WallHi   simtime.Time
+	RunLo    float64 // runtime as a fraction of walltime, lower bound
+	RunHi    float64
+	MaxNodes int // per-request node demand bound
+	// ReservedShare is the fraction of jobs submitted as advance
+	// reservations in the +reservations scenario.
+	ReservedShare float64
+	// ReserveLead is how far ahead reservations book their start.
+	ReserveLead simtime.Time
+	// GangQuantum is the gang scheduler's time slice.
+	GangQuantum simtime.Time
+}
+
+// DefaultPolicies returns the calibrated configuration.
+func DefaultPolicies(seed uint64, jobs int) PoliciesConfig {
+	return PoliciesConfig{
+		Seed:          seed,
+		Jobs:          jobs,
+		Nodes:         16,
+		MeanGap:       9,
+		WallLo:        5,
+		WallHi:        60,
+		RunLo:         0.5,
+		RunHi:         1.0,
+		MaxNodes:      8,
+		ReservedShare: 0.2,
+		ReserveLead:   30,
+		GangQuantum:   5,
+	}
+}
+
+// policyStream builds the request stream shared by every policy run.
+type policyArrival struct {
+	req batch.Request
+	at  simtime.Time
+}
+
+func policyStream(cfg PoliciesConfig) []policyArrival {
+	r := rng.New(cfg.Seed).Split(0x90)
+	out := make([]policyArrival, cfg.Jobs)
+	t := 0.0
+	for i := range out {
+		t += r.Exp(cfg.MeanGap)
+		wall := simtime.Time(r.Int64Between(int64(cfg.WallLo), int64(cfg.WallHi)))
+		run := simtime.Time(float64(wall) * r.Float64Between(cfg.RunLo, cfg.RunHi))
+		if run < 1 {
+			run = 1
+		}
+		out[i] = policyArrival{
+			req: batch.Request{
+				ID:       fmt.Sprintf("j%05d", i),
+				Nodes:    r.IntBetween(1, cfg.MaxNodes),
+				Walltime: wall,
+				Runtime:  run,
+			},
+			at: simtime.Time(t),
+		}
+	}
+	return out
+}
+
+// policyStats summarizes one run.
+type policyStats struct {
+	meanWait, p95Wait, maxWait float64
+	meanErr                    float64
+	meanResponse               float64
+	killed                     int
+}
+
+func runPolicy(cfg PoliciesConfig, mk func(e *sim.Engine) batch.System, reservedShare float64) policyStats {
+	e := sim.New()
+	sys := mk(e)
+	rr := rng.New(cfg.Seed).Split(0x91)
+	for _, a := range policyStream(cfg) {
+		a := a
+		reserved := rr.Float64() < reservedShare
+		e.At(a.at, "submit "+a.req.ID, func() {
+			if reserved {
+				if c, ok := sys.(*batch.Cluster); ok {
+					if c.SubmitReservation(a.req, e.Now()+cfg.ReserveLead) {
+						return
+					}
+				}
+			}
+			sys.Submit(a.req)
+		})
+	}
+	e.Run()
+	var wait, errs, resp metrics.Series
+	st := policyStats{}
+	for _, o := range sys.Outcomes() {
+		if o.Reserved {
+			continue // the study measures the queued jobs' waits
+		}
+		wait.AddInt(int64(o.Wait()))
+		errs.AddInt(int64(o.ForecastError()))
+		resp.AddInt(int64(o.End - o.Arrival))
+		if o.Killed {
+			st.killed++
+		}
+	}
+	st.meanWait = wait.Mean()
+	st.p95Wait = wait.Percentile(95)
+	st.maxWait = wait.Max()
+	st.meanErr = errs.Mean()
+	st.meanResponse = resp.Mean()
+	return st
+}
+
+// Policies regenerates the §5 local-policy comparison (E7): queue waiting
+// time and start-forecast error per policy, the backfilling gain, and the
+// advance-reservation penalty.
+func Policies(cfg PoliciesConfig) (*Report, error) {
+	r := newReport("policies", "local batch policies (paper §5: backfilling shrinks waits, reservations grow them)")
+	type entry struct {
+		name string
+		mk   func(e *sim.Engine) batch.System
+		res  float64
+	}
+	entries := []entry{
+		{"FCFS", func(e *sim.Engine) batch.System { return batch.NewCluster(e, cfg.Nodes, batch.Policy{}) }, 0},
+		{"LWF", func(e *sim.Engine) batch.System {
+			return batch.NewCluster(e, cfg.Nodes, batch.Policy{Discipline: batch.LWF})
+		}, 0},
+		{"FCFS+easy-backfill", func(e *sim.Engine) batch.System {
+			return batch.NewCluster(e, cfg.Nodes, batch.Policy{Backfill: batch.EasyBackfill})
+		}, 0},
+		{"FCFS+conservative-backfill", func(e *sim.Engine) batch.System {
+			return batch.NewCluster(e, cfg.Nodes, batch.Policy{Backfill: batch.ConservativeBackfill})
+		}, 0},
+		{"FCFS+reservations", func(e *sim.Engine) batch.System {
+			return batch.NewCluster(e, cfg.Nodes, batch.Policy{})
+		}, cfg.ReservedShare},
+		{"gang", func(e *sim.Engine) batch.System { return batch.NewGang(e, cfg.Nodes, cfg.GangQuantum) }, 0},
+	}
+	r.addLine("%-28s %10s %10s %10s %12s %12s", "policy", "mean-wait", "p95-wait", "max-wait", "mean-error", "mean-resp")
+	for _, en := range entries {
+		st := runPolicy(cfg, en.mk, en.res)
+		r.addLine("%-28s %10.1f %10.1f %10.1f %12.1f %12.1f",
+			en.name, st.meanWait, st.p95Wait, st.maxWait, st.meanErr, st.meanResponse)
+		r.Values["wait-"+en.name] = st.meanWait
+		r.Values["maxwait-"+en.name] = st.maxWait
+		r.Values["error-"+en.name] = st.meanErr
+		r.Values["response-"+en.name] = st.meanResponse
+	}
+	return r, nil
+}

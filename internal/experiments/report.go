@@ -1,0 +1,59 @@
+// Package experiments contains one runner per artifact of the paper's
+// evaluation (§3 Fig. 2, §4 Fig. 3–4), the §5 local-policy claims, and two
+// ablations of the method's design choices. Each runner returns a Report
+// holding both the printable table and the raw values the tests and
+// benchmarks assert against; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report is one experiment's outcome.
+type Report struct {
+	// ID is the experiment identifier (e.g. "fig3a").
+	ID string
+	// Title describes the paper artifact being regenerated.
+	Title string
+	// Lines is the formatted table, one row per line.
+	Lines []string
+	// Values holds the raw numbers keyed by row/series name.
+	Values map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Values: make(map[string]float64)}
+}
+
+func (r *Report) addLine(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// WriteTo prints the report in the harness's standard layout.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Value returns the named value, panicking on unknown keys so that typos
+// in tests and benchmarks fail loudly.
+func (r *Report) Value(key string) float64 {
+	v, ok := r.Values[key]
+	if !ok {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		panic(fmt.Sprintf("experiments: report %s has no value %q (have %v)", r.ID, key, keys))
+	}
+	return v
+}

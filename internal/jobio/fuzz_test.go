@@ -1,0 +1,37 @@
+package jobio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJobs ensures arbitrary input can never panic the decoder: it
+// must either error out or produce jobs that round-trip.
+func FuzzReadJobs(f *testing.F) {
+	f.Add(`[{"name":"x","deadline":9,"tasks":[{"name":"A","baseTime":1,"volume":2}],"edges":[]}]`)
+	f.Add(`[]`)
+	f.Add(`[{"name":"x","tasks":[{"name":"A","baseTime":1},{"name":"B","baseTime":2}],` +
+		`"edges":[{"name":"e","from":"A","to":"B","baseTime":1}]}]`)
+	f.Add(`not json at all`)
+	f.Add(`[{"tasks":[{"name":"A","baseTime":-4}]}]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		jobs, err := ReadJobs(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			var buf bytes.Buffer
+			if err := WriteJobs(&buf, []Job{FromJob(j)}); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			back, err := ReadJobs(&buf)
+			if err != nil {
+				t.Fatalf("round trip failed: %v", err)
+			}
+			if len(back) != 1 || back[0].NumTasks() != j.NumTasks() {
+				t.Fatal("round trip changed the job")
+			}
+		}
+	})
+}

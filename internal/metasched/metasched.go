@@ -1,0 +1,647 @@
+// Package metasched implements the job-flow level of the paper's
+// hierarchical scheduling framework (Fig. 1): a metascheduler distributes
+// user job flows between processor-node domains; one job manager per
+// domain generates and maintains strategies against its local calendars;
+// and a dynamic-environment injector models the independent background
+// load that invalidates supporting schedules.
+//
+// Lifecycle of one job:
+//
+//  1. The metascheduler assigns the job to the least-loaded domain.
+//  2. The domain's job manager generates the strategy (strategy.Generate)
+//     and activates the cheapest admissible distribution, reserving its
+//     windows in the live node calendars.
+//  3. While the job is still waiting to start, an external reservation may
+//     claim one of its windows: the plan is evicted, its time-to-live
+//     recorded, and the manager re-anchors the next supporting level at
+//     the current time (§2's "special reallocation mechanism ... executed
+//     on the higher-level manager or on the metascheduler-level").
+//  4. A job whose manager runs out of levels is handed back to the
+//     metascheduler for reallocation to another domain; if that fails too,
+//     the job is rejected — a QoS miss.
+//  5. Once the first task starts, the allocation is guaranteed (advance
+//     reservations, §5) and the job runs to its planned finish.
+package metasched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/criticalworks"
+	"repro/internal/dag"
+	"repro/internal/economy"
+	"repro/internal/resource"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/strategy"
+)
+
+// Config tunes the virtual organization simulation.
+type Config struct {
+	// Domains is the number of job-manager domains the environment's
+	// nodes are partitioned into (by their Node.Domain labels).
+	// Informational; the actual split follows the labels.
+
+	// ExternalMeanGap is the mean model-time gap between background-load
+	// reservation attempts (exponential). Zero disables the injector.
+	ExternalMeanGap float64
+	// ExternalLead is how far in the future an external window starts.
+	ExternalLead simtime.Time
+	// ExternalDurLo/Hi bound the external window length (uniform).
+	ExternalDurLo, ExternalDurHi simtime.Time
+	// ExternalUntil stops the injector at this model time.
+	ExternalUntil simtime.Time
+
+	// Pricing prices node time; defaults to the bare CF.
+	Pricing economy.Pricing
+	// Objective is the DP target for all strategy generation.
+	Objective criticalworks.Objective
+
+	// Placement selects the metascheduler's flow-distribution rule;
+	// default PlaceLeastLoaded.
+	Placement PlacementPolicy
+
+	// Tracer, when set, receives every VO lifecycle event.
+	Tracer Tracer
+
+	// Seed drives the injector's randomness.
+	Seed uint64
+}
+
+// PlacementPolicy selects how the metascheduler distributes arriving jobs
+// between domains.
+type PlacementPolicy int
+
+const (
+	// PlaceLeastLoaded assigns each job to the domain whose nodes carry
+	// the fewest reserved future ticks.
+	PlaceLeastLoaded PlacementPolicy = iota
+	// PlaceRoundRobin cycles through the domains in name order — the
+	// baseline distribution rule.
+	PlaceRoundRobin
+)
+
+// State is a job's lifecycle phase.
+type State int
+
+// Job lifecycle states.
+const (
+	StatePlanned State = iota
+	StateExecuting
+	StateCompleted
+	StateRejected
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StatePlanned:
+		return "planned"
+	case StateExecuting:
+		return "executing"
+	case StateCompleted:
+		return "completed"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// JobResult is the full record of one job's passage through the VO.
+type JobResult struct {
+	Job *dag.Job
+	// Scheduled is the DAG the placements refer to: the job itself, or
+	// its coarse clustering for S3 strategies.
+	Scheduled *dag.Job
+	Type      strategy.Type
+	Domain    string
+	State     State
+
+	// Admissible records whether the initially generated strategy had any
+	// admissible distribution (the Fig. 3a criterion).
+	Admissible bool
+
+	Arrival simtime.Time
+	Finish  simtime.Time
+
+	// InitialLevel and FinalLevel are the estimation levels of the first
+	// and last activated distributions.
+	InitialLevel, FinalLevel resource.Tier
+
+	// Cost/BareCF of the finally executed distribution.
+	Cost   float64
+	BareCF int64
+
+	// MeanTaskTime is the average reserved task duration of the final
+	// distribution (Fig. 4b's task execution time).
+	MeanTaskTime float64
+
+	// TTLs holds each activated plan's time-to-live: eviction−activation
+	// for invalidated plans, completion−activation for the survivor.
+	TTLs []simtime.Time
+
+	// PlannedStart is the job's first-task start under the FIRST activated
+	// plan; ActualStart is the start it finally got. Their difference over
+	// the run time is Fig. 4c's start deviation ratio.
+	PlannedStart, ActualStart simtime.Time
+
+	// Fallbacks counts in-domain re-anchored levels; Reallocations counts
+	// metascheduler-level domain moves.
+	Fallbacks, Reallocations int
+
+	// Collisions aggregated over all generation passes, by node.
+	Collisions []criticalworks.Collision
+
+	// Placements of the finally executed distribution.
+	Placements map[dag.TaskID]criticalworks.Placement
+
+	// Evaluations spent generating (and re-generating) strategies.
+	Evaluations int64
+}
+
+// RunTime returns the executed span (finish − actual start), or 0.
+func (r *JobResult) RunTime() simtime.Time {
+	if r.State != StateCompleted {
+		return 0
+	}
+	return r.Finish - r.ActualStart
+}
+
+// StartDeviation returns actual−planned first start (≥ 0 in this model:
+// replans only ever push a job later).
+func (r *JobResult) StartDeviation() simtime.Time {
+	d := r.ActualStart - r.PlannedStart
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// activeJob is the manager-side state of a job in flight.
+type activeJob struct {
+	result        *JobResult
+	strat         *strategy.Strategy
+	manager       *JobManager
+	used          map[resource.Tier]bool
+	current       *strategy.Distribution
+	activate      simtime.Time // when the current plan was activated
+	everActivated bool
+	finishEv      sim.Handle
+	startEv       sim.Handle
+	triedDom      map[string]bool
+}
+
+// JobManager owns one domain's nodes and keeps its jobs' strategies alive.
+type JobManager struct {
+	vo     *VO
+	domain string
+	pool   []resource.NodeID
+	gen    *strategy.Generator
+}
+
+// Domain returns the manager's domain name.
+func (m *JobManager) Domain() string { return m.domain }
+
+// VO is the virtual organization: environment, metascheduler, domain
+// managers and the background-load injector.
+type VO struct {
+	engine   *sim.Engine
+	env      *resource.Environment
+	cfg      Config
+	managers []*JobManager
+	byDomain map[string]*JobManager
+	active   map[string]*activeJob // by job name
+	results  []*JobResult
+	extRng   *rng.Source
+	extOn    bool
+	rrNext   int // round-robin cursor
+}
+
+// NewVO builds the hierarchy over env: one job manager per distinct node
+// domain label.
+func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
+	if cfg.Pricing == nil {
+		cfg.Pricing = economy.FlatPricing{PerTick: 1}
+	}
+	vo := &VO{
+		engine:   engine,
+		env:      env,
+		cfg:      cfg,
+		byDomain: make(map[string]*JobManager),
+		active:   make(map[string]*activeJob),
+		extRng:   rng.New(cfg.Seed).Split(0xE7),
+	}
+	for _, dom := range env.Domains() {
+		var pool []resource.NodeID
+		for _, n := range env.ByDomain(dom) {
+			pool = append(pool, n.ID)
+		}
+		m := &JobManager{
+			vo:     vo,
+			domain: dom,
+			pool:   pool,
+			gen: &strategy.Generator{
+				Env:         env,
+				Pricing:     cfg.Pricing,
+				Pool:        pool,
+				StorageNode: pool[0],
+				Objective:   cfg.Objective,
+			},
+		}
+		vo.managers = append(vo.managers, m)
+		vo.byDomain[dom] = m
+	}
+	if cfg.ExternalMeanGap > 0 {
+		vo.extOn = true
+		vo.scheduleNextExternal()
+	}
+	return vo
+}
+
+// Managers returns the domain managers in domain-name order.
+func (vo *VO) Managers() []*JobManager { return vo.managers }
+
+// Results returns all finished (completed or rejected) job records.
+func (vo *VO) Results() []*JobResult { return vo.results }
+
+// Submit schedules a job of the given strategy family for arrival at `at`.
+func (vo *VO) Submit(job *dag.Job, typ strategy.Type, at simtime.Time) {
+	vo.engine.At(at, "arrive "+job.Name, func() { vo.arrive(job, typ) })
+}
+
+// arrive implements the metascheduler's flow distribution: pick the least
+// loaded domain and hand the job to its manager.
+func (vo *VO) arrive(job *dag.Job, typ strategy.Type) {
+	m := vo.placeJob(nil)
+	vo.trace(EventArrive, job.Name, m.domain, nil)
+	res := &JobResult{
+		Job:     job,
+		Type:    typ,
+		Domain:  m.domain,
+		Arrival: vo.engine.Now(),
+		State:   StateRejected, // until proven otherwise
+	}
+	aj := &activeJob{
+		result:   res,
+		manager:  m,
+		used:     make(map[resource.Tier]bool),
+		triedDom: map[string]bool{m.domain: true},
+	}
+	vo.active[job.Name] = aj
+	m.adopt(aj, true)
+}
+
+// placeJob applies the configured placement policy, excluding `except`.
+func (vo *VO) placeJob(except map[string]bool) *JobManager {
+	if vo.cfg.Placement == PlaceRoundRobin {
+		for i := 0; i < len(vo.managers); i++ {
+			m := vo.managers[(vo.rrNext+i)%len(vo.managers)]
+			if except[m.domain] {
+				continue
+			}
+			vo.rrNext = (vo.rrNext + i + 1) % len(vo.managers)
+			return m
+		}
+		return nil
+	}
+	return vo.leastLoaded(except)
+}
+
+// leastLoaded returns the manager whose pool has the fewest reserved
+// future ticks, excluding domains in `except`.
+func (vo *VO) leastLoaded(except map[string]bool) *JobManager {
+	now := vo.engine.Now()
+	span := simtime.Interval{Start: now, End: now + 1000}
+	var best *JobManager
+	var bestLoad float64
+	for _, m := range vo.managers {
+		if except[m.domain] {
+			continue
+		}
+		var load float64
+		for _, id := range m.pool {
+			load += float64(vo.env.Node(id).Calendar().BusyIn(span))
+		}
+		load /= float64(len(m.pool))
+		if best == nil || load < bestLoad || (load == bestLoad && m.domain < best.domain) {
+			best = m
+			bestLoad = load
+		}
+	}
+	return best
+}
+
+// adopt generates (or regenerates) the job's strategy in this domain and
+// activates the cheapest admissible distribution. initial marks the very
+// first generation, which defines the job's admissibility record.
+func (m *JobManager) adopt(aj *activeJob, initial bool) {
+	now := m.vo.engine.Now()
+	snap := criticalworks.Snapshot(m.vo.env)
+	st, err := m.gen.Generate(aj.result.Job, aj.result.Type, snap, now)
+	if err != nil {
+		// Structural failures cannot happen for generator-produced jobs;
+		// treat as rejection rather than crash the simulation.
+		m.vo.finalize(aj, StateRejected)
+		return
+	}
+	aj.strat = st
+	aj.result.Scheduled = st.Scheduled
+	aj.used = make(map[resource.Tier]bool)
+	aj.result.Evaluations += st.Evaluations
+	aj.result.Collisions = append(aj.result.Collisions, st.Collisions()...)
+	if initial {
+		aj.result.Admissible = st.Admissible()
+	}
+	d := st.CheapestAdmissible()
+	if d == nil {
+		m.vo.reallocate(aj)
+		return
+	}
+	m.activate(aj, d)
+}
+
+// activate reserves the distribution's windows in the live calendars and
+// schedules the job's start and finish events. The very first activation
+// (in whichever domain it happens) defines the job's planned start for the
+// Fig. 4c deviation metric.
+func (m *JobManager) activate(aj *activeJob, d *strategy.Distribution) {
+	now := m.vo.engine.Now()
+	owner := func(task dag.TaskID) resource.Owner {
+		return resource.Owner{Job: aj.result.Job.Name, Task: aj.strat.Scheduled.Task(task).Name}
+	}
+	for id, p := range d.Placements {
+		if err := m.vo.env.Node(p.Node).Calendar().Reserve(p.Window, owner(id)); err != nil {
+			// The plan was built against a snapshot taken this instant, so
+			// a conflict is an internal bug.
+			panic(fmt.Sprintf("metasched: activation conflict for %s: %v", aj.result.Job.Name, err))
+		}
+	}
+	aj.current = d
+	aj.activate = now
+	aj.used[d.Level] = true
+	if !aj.everActivated {
+		aj.everActivated = true
+		aj.result.InitialLevel = d.Level
+		aj.result.PlannedStart = d.Start
+	}
+	aj.result.FinalLevel = d.Level
+	aj.result.ActualStart = d.Start
+	m.vo.trace(EventActivate, aj.result.Job.Name, m.domain, func(e *Event) {
+		e.Level = int(d.Level)
+		e.Start, e.End = d.Start, d.Finish
+	})
+	aj.startEv = m.vo.engine.At(d.Start, "start "+aj.result.Job.Name, func() {
+		aj.result.State = StateExecuting
+		m.vo.trace(EventStart, aj.result.Job.Name, m.domain, nil)
+	})
+	aj.finishEv = m.vo.engine.At(d.Finish, "finish "+aj.result.Job.Name, func() {
+		m.complete(aj)
+	})
+	aj.result.State = StatePlanned
+	if d.Start <= now {
+		aj.result.State = StateExecuting
+	}
+}
+
+// complete finalizes a job that ran to plan.
+func (m *JobManager) complete(aj *activeJob) {
+	d := aj.current
+	aj.result.Finish = d.Finish
+	aj.result.Cost = d.Cost
+	aj.result.BareCF = d.BareCF
+	aj.result.TTLs = append(aj.result.TTLs, d.Finish-aj.activate)
+	aj.result.Placements = d.Placements
+	var total simtime.Time
+	for _, p := range d.Placements {
+		total += p.Window.Len()
+	}
+	aj.result.MeanTaskTime = float64(total) / float64(len(d.Placements))
+	m.vo.finalize(aj, StateCompleted)
+}
+
+// teardown removes the job's current plan from the calendars and records
+// its time-to-live; the caller decides what happens next.
+func (m *JobManager) teardown(aj *activeJob) {
+	now := m.vo.engine.Now()
+	m.vo.trace(EventEvict, aj.result.Job.Name, m.domain, nil)
+	aj.result.TTLs = append(aj.result.TTLs, now-aj.activate)
+	aj.startEv.Cancel()
+	aj.finishEv.Cancel()
+	for _, id := range m.pool {
+		m.vo.env.Node(id).Calendar().ReleaseJob(aj.result.Job.Name)
+	}
+	aj.current = nil
+}
+
+// fallback re-anchors the next supporting level at the current time; when
+// the strategy is exhausted the job goes back to the metascheduler.
+func (m *JobManager) fallback(aj *activeJob) {
+	now := m.vo.engine.Now()
+	// Try remaining levels in the cost order of the original generation.
+	for {
+		next := aj.strat.AdmissibleAfter(aj.used)
+		if next == nil {
+			m.vo.reallocate(aj)
+			return
+		}
+		aj.used[next.Level] = true
+		snap := criticalworks.Snapshot(m.vo.env)
+		d, partial, err := m.gen.BuildLevel(aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap, now)
+		if err != nil || d == nil || !d.Admissible {
+			if partial != nil {
+				aj.result.Evaluations += partial.Evaluations
+				aj.result.Collisions = append(aj.result.Collisions, partial.Collisions...)
+			}
+			continue
+		}
+		aj.result.Evaluations += d.Schedule.Evaluations
+		aj.result.Collisions = append(aj.result.Collisions, d.Schedule.Collisions...)
+		aj.result.Fallbacks++
+		m.vo.trace(EventFallback, aj.result.Job.Name, m.domain, func(e *Event) {
+			e.Level = int(d.Level)
+		})
+		m.activate(aj, d)
+		return
+	}
+}
+
+// reallocate moves the job to another domain (Fig. 1's job reallocation);
+// with no domains left, the job is rejected.
+func (vo *VO) reallocate(aj *activeJob) {
+	next := vo.placeJob(aj.triedDom)
+	if next == nil {
+		vo.finalize(aj, StateRejected)
+		return
+	}
+	aj.triedDom[next.domain] = true
+	aj.result.Reallocations++
+	aj.result.Domain = next.domain
+	aj.manager = next
+	vo.trace(EventReallocate, aj.result.Job.Name, next.domain, nil)
+	next.adopt(aj, false)
+}
+
+// finalize records the job's terminal state.
+func (vo *VO) finalize(aj *activeJob, st State) {
+	aj.result.State = st
+	kind := EventComplete
+	if st == StateRejected {
+		aj.result.Finish = vo.engine.Now()
+		kind = EventReject
+	}
+	vo.trace(kind, aj.result.Job.Name, aj.result.Domain, nil)
+	delete(vo.active, aj.result.Job.Name)
+	vo.results = append(vo.results, aj.result)
+	// Keep the calendars lean on long runs: finished reservations cannot
+	// affect any future fit.
+	if len(vo.results)%64 == 0 {
+		now := vo.engine.Now()
+		for _, n := range vo.env.Nodes() {
+			n.Calendar().PruneBefore(now)
+		}
+	}
+}
+
+// scheduleNextExternal arms the background-load injector.
+func (vo *VO) scheduleNextExternal() {
+	gap := simtime.Time(vo.extRng.Exp(vo.cfg.ExternalMeanGap)) + 1
+	at := vo.engine.Now() + gap
+	if vo.cfg.ExternalUntil > 0 && at > vo.cfg.ExternalUntil {
+		return
+	}
+	vo.engine.At(at, "external-load", func() {
+		vo.injectExternal()
+		vo.scheduleNextExternal()
+	})
+}
+
+// injectExternal books one random background job: a random node, the
+// earliest window after the lead time that the local system can grant.
+func (vo *VO) injectExternal() {
+	now := vo.engine.Now()
+	n := resource.NodeID(vo.extRng.Intn(vo.env.NumNodes()))
+	dur := simtime.Time(vo.extRng.Int64Between(int64(vo.cfg.ExternalDurLo), int64(vo.cfg.ExternalDurHi)))
+	if dur <= 0 {
+		return
+	}
+	vo.InjectExternalLoad(n, dur, now+vo.cfg.ExternalLead)
+}
+
+// InjectExternalLoad models an independent local batch job arriving at a
+// node: the local system places it at the earliest window at or after
+// `earliest` that avoids guaranteed reservations (running/started grid
+// jobs, other locals), and — exercising the local system's autonomy — it
+// outranks grid reservations whose jobs have not started yet: those plans
+// are evicted and replan. It returns the booked window.
+func (vo *VO) InjectExternalLoad(node resource.NodeID, dur, earliest simtime.Time) (simtime.Interval, bool) {
+	if dur <= 0 {
+		return simtime.Interval{}, false
+	}
+	cal := vo.env.Node(node).Calendar()
+	start := earliest
+	for iter := 0; iter < 10000; iter++ {
+		iv := simtime.Interval{Start: start, End: start + dur}
+		blocked := simtime.Time(-1)
+		for _, c := range cal.ConflictsWith(iv) {
+			if vo.isProtected(c.Owner) && c.Interval.End > blocked {
+				blocked = c.Interval.End
+			}
+		}
+		if blocked >= 0 {
+			start = blocked
+			continue
+		}
+		if vo.InjectExternal(node, iv) {
+			return iv, true
+		}
+		return simtime.Interval{}, false
+	}
+	return simtime.Interval{}, false
+}
+
+// isProtected reports whether a reservation owner cannot be preempted by
+// local load: externals and grid jobs that already started.
+func (vo *VO) isProtected(owner resource.Owner) bool {
+	if owner == resource.External {
+		return true
+	}
+	aj, ok := vo.active[owner.Job]
+	return !ok || aj.result.State != StatePlanned
+}
+
+// InjectExternal attempts one background reservation on the given node and
+// window, applying the eviction rules: plans of jobs that have not started
+// yet yield to it (and get evicted); executing jobs and other externals
+// win, and the event is dropped. It reports whether the reservation was
+// booked. Exposed for deterministic scenario construction.
+func (vo *VO) InjectExternal(node resource.NodeID, iv simtime.Interval) bool {
+	n := vo.env.Node(node)
+	conflicts := n.Calendar().ConflictsWith(iv)
+	var victims []*activeJob
+	for _, c := range conflicts {
+		if c.Owner == resource.External {
+			return false // externals do not fight each other
+		}
+		aj, ok := vo.active[c.Owner.Job]
+		if !ok || aj.result.State != StatePlanned {
+			return false // executing (or unknown) jobs are protected
+		}
+		victims = append(victims, aj)
+	}
+	// Deduplicate victims while keeping deterministic order.
+	sort.Slice(victims, func(a, b int) bool {
+		return victims[a].result.Job.Name < victims[b].result.Job.Name
+	})
+	seen := map[*activeJob]bool{}
+	var evictees []*activeJob
+	for _, v := range victims {
+		if !seen[v] {
+			seen[v] = true
+			evictees = append(evictees, v)
+		}
+	}
+	// Tear every victim down first so the external's booking cannot fail,
+	// then let the victims replan against the post-event state.
+	for _, v := range evictees {
+		v.manager.teardown(v)
+	}
+	if err := n.Calendar().Reserve(iv, resource.External); err != nil {
+		panic(fmt.Sprintf("metasched: external booking failed after eviction: %v", err))
+	}
+	vo.traceExternal(node, iv)
+	for _, v := range evictees {
+		v.manager.fallback(v)
+	}
+	return true
+}
+
+// NodeLoad aggregates, per performance group, the fraction of the span
+// each group's nodes spent executing completed jobs' tasks (Fig. 4a).
+// External load is excluded: the figure reports the strategies' own usage
+// pattern.
+func (vo *VO) NodeLoad(span simtime.Interval) map[resource.Group]float64 {
+	busy := make(map[resource.NodeID]simtime.Time)
+	for _, r := range vo.results {
+		if r.State != StateCompleted {
+			continue
+		}
+		for _, p := range r.Placements {
+			busy[p.Node] += p.Window.Intersect(span).Len()
+		}
+	}
+	groupBusy := make(map[resource.Group]simtime.Time)
+	groupCap := make(map[resource.Group]simtime.Time)
+	for _, n := range vo.env.Nodes() {
+		groupBusy[n.Group()] += busy[n.ID]
+		groupCap[n.Group()] += span.Len()
+	}
+	out := make(map[resource.Group]float64)
+	for g, c := range groupCap {
+		if c > 0 {
+			out[g] = float64(groupBusy[g]) / float64(c)
+		}
+	}
+	return out
+}

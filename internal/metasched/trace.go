@@ -1,0 +1,126 @@
+package metasched
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+// EventKind classifies a trace event.
+type EventKind string
+
+// The VO lifecycle events.
+const (
+	EventArrive     EventKind = "arrive"
+	EventActivate   EventKind = "activate"
+	EventStart      EventKind = "start"
+	EventEvict      EventKind = "evict"
+	EventFallback   EventKind = "fallback"
+	EventReallocate EventKind = "reallocate"
+	EventComplete   EventKind = "complete"
+	EventReject     EventKind = "reject"
+	EventExternal   EventKind = "external"
+)
+
+// Event is one VO occurrence, suitable for JSONL export and offline
+// analysis of a run.
+type Event struct {
+	At     simtime.Time `json:"at"`
+	Kind   EventKind    `json:"kind"`
+	Job    string       `json:"job,omitempty"`
+	Domain string       `json:"domain,omitempty"`
+	Level  int          `json:"level,omitempty"`
+	Node   int          `json:"node,omitempty"`
+	Start  simtime.Time `json:"start,omitempty"`
+	End    simtime.Time `json:"end,omitempty"`
+	Detail string       `json:"detail,omitempty"`
+}
+
+// Tracer receives VO events as they happen. Implementations must be cheap;
+// they run inside the simulation loop.
+type Tracer interface {
+	Trace(Event)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Event)
+
+// Trace implements Tracer.
+func (f TracerFunc) Trace(e Event) { f(e) }
+
+// JSONLTracer streams events as JSON lines to a writer. Safe for
+// concurrent use, though the simulation itself is single-threaded.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLTracer wraps w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{enc: json.NewEncoder(w)}
+}
+
+// Trace implements Tracer; the first write error sticks and is reported by
+// Err.
+func (t *JSONLTracer) Trace(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// MemoryTracer collects events in memory, for tests and small runs.
+type MemoryTracer struct {
+	events []Event
+}
+
+// Trace implements Tracer.
+func (t *MemoryTracer) Trace(e Event) { t.events = append(t.events, e) }
+
+// Events returns a copy of everything collected so far.
+func (t *MemoryTracer) Events() []Event { return append([]Event(nil), t.events...) }
+
+// Count returns how many events of the kind were seen (all kinds when
+// kind is empty).
+func (t *MemoryTracer) Count(kind EventKind) int {
+	n := 0
+	for _, e := range t.events {
+		if kind == "" || e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// trace emits an event if a tracer is configured.
+func (vo *VO) trace(kind EventKind, job, domain string, f func(*Event)) {
+	if vo.cfg.Tracer == nil {
+		return
+	}
+	e := Event{At: vo.engine.Now(), Kind: kind, Job: job, Domain: domain}
+	if f != nil {
+		f(&e)
+	}
+	vo.cfg.Tracer.Trace(e)
+}
+
+// traceExternal records a booked background reservation.
+func (vo *VO) traceExternal(node resource.NodeID, iv simtime.Interval) {
+	vo.trace(EventExternal, "", "", func(e *Event) {
+		e.Node = int(node)
+		e.Start, e.End = iv.Start, iv.End
+	})
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Count() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 || s.Sum() != 0 {
+		t.Error("empty series must report zeros")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Std() != 2 { // classic example with population std exactly 2
+		t.Errorf("Std = %v", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+}
+
+func TestSeriesAddInt(t *testing.T) {
+	var s Series
+	s.AddInt(3)
+	s.AddInt(5)
+	if s.Mean() != 4 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {100, 100}, {-5, 1}, {150, 100},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("fast", 32)
+	c.Inc("slow", 68)
+	if c.Total() != 100 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Share("fast") != 0.32 {
+		t.Errorf("Share(fast) = %v", c.Share("fast"))
+	}
+	if got := c.Labels(); len(got) != 2 || got[0] != "fast" || got[1] != "slow" {
+		t.Errorf("Labels = %v", got)
+	}
+	if c.Get("missing") != 0 {
+		t.Error("missing label nonzero")
+	}
+}
+
+func TestCounterEmptyShare(t *testing.T) {
+	if NewCounter().Share("x") != 0 {
+		t.Error("empty counter share not 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	in := map[string]float64{"S2": 10, "S3": 5, "MS1": 8}
+	out := Normalize(in)
+	if out["S2"] != 1 || out["S3"] != 0.5 || out["MS1"] != 0.8 {
+		t.Errorf("Normalize = %v", out)
+	}
+	zero := Normalize(map[string]float64{"a": 0, "b": 0})
+	if zero["a"] != 0 || zero["b"] != 0 {
+		t.Errorf("all-zero Normalize = %v", zero)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(0.38); got != "38.0%" {
+		t.Errorf("Ratio = %q", got)
+	}
+}
+
+func TestQuickMeanWithinBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes sane: the property is about ordering, not
+			// float overflow in the running sum.
+			s.Add(math.Mod(v, 1e12))
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		p1, p2 := float64(a%101), float64(b%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return s.Percentile(p1) <= s.Percentile(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeMaxIsOne(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		in := map[string]float64{"a": float64(a), "b": float64(b), "c": float64(c)}
+		out := Normalize(in)
+		var max float64
+		for _, v := range out {
+			if v < 0 || v > 1 {
+				return false
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if a == 0 && b == 0 && c == 0 {
+			return max == 0
+		}
+		return max == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+package resource
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Owner labels who holds a reservation, so that collision statistics can
+// distinguish tasks of the same job, other jobs of the flow, and external
+// background load.
+type Owner struct {
+	Job  string
+	Task string
+}
+
+// External is the owner label for background-load reservations injected by
+// the environment (other virtual organizations' flows).
+var External = Owner{Job: "<external>"}
+
+// Reservation is one advance reservation of a node for a wall-time window,
+// as placed into the local batch system at resource-request time (§3).
+type Reservation struct {
+	Interval simtime.Interval
+	Owner    Owner
+}
+
+// Calendar is a node's reservation book: a set of non-overlapping advance
+// reservations. The zero value is not usable; call NewCalendar.
+type Calendar struct {
+	res []Reservation // sorted by Interval.Start, pairwise disjoint
+}
+
+// NewCalendar returns an empty calendar.
+func NewCalendar() *Calendar { return &Calendar{} }
+
+// ErrConflict reports a reservation attempt that overlaps an existing one.
+type ErrConflict struct {
+	Wanted   simtime.Interval
+	Existing Reservation
+}
+
+func (e *ErrConflict) Error() string {
+	return fmt.Sprintf("resource: interval %v conflicts with reservation %v held by %s/%s",
+		e.Wanted, e.Existing.Interval, e.Existing.Owner.Job, e.Existing.Owner.Task)
+}
+
+// Len returns the number of reservations.
+func (c *Calendar) Len() int { return len(c.res) }
+
+// Reservations returns a copy of all reservations in start order.
+func (c *Calendar) Reservations() []Reservation {
+	return append([]Reservation(nil), c.res...)
+}
+
+// ConflictWith returns the first existing reservation overlapping iv, if any.
+func (c *Calendar) ConflictWith(iv simtime.Interval) (Reservation, bool) {
+	if iv.Empty() {
+		return Reservation{}, false
+	}
+	i := sort.Search(len(c.res), func(i int) bool { return c.res[i].Interval.End > iv.Start })
+	if i < len(c.res) && c.res[i].Interval.Overlaps(iv) {
+		return c.res[i], true
+	}
+	return Reservation{}, false
+}
+
+// ConflictsWith returns every reservation overlapping iv, in start order.
+func (c *Calendar) ConflictsWith(iv simtime.Interval) []Reservation {
+	var out []Reservation
+	if iv.Empty() {
+		return nil
+	}
+	for _, r := range c.res {
+		if r.Interval.Start >= iv.End {
+			break
+		}
+		if r.Interval.Overlaps(iv) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Free reports whether iv overlaps no reservation.
+func (c *Calendar) Free(iv simtime.Interval) bool {
+	_, busy := c.ConflictWith(iv)
+	return !busy
+}
+
+// Reserve books iv for owner. It returns *ErrConflict when the window
+// overlaps an existing reservation, leaving the calendar unchanged.
+func (c *Calendar) Reserve(iv simtime.Interval, owner Owner) error {
+	if iv.Empty() {
+		return fmt.Errorf("resource: empty reservation %v", iv)
+	}
+	if existing, busy := c.ConflictWith(iv); busy {
+		return &ErrConflict{Wanted: iv, Existing: existing}
+	}
+	i := sort.Search(len(c.res), func(i int) bool { return c.res[i].Interval.Start >= iv.Start })
+	c.res = append(c.res, Reservation{})
+	copy(c.res[i+1:], c.res[i:])
+	c.res[i] = Reservation{Interval: iv, Owner: owner}
+	return nil
+}
+
+// Release removes the reservation exactly matching iv and owner. It reports
+// whether a reservation was removed.
+func (c *Calendar) Release(iv simtime.Interval, owner Owner) bool {
+	for i, r := range c.res {
+		if r.Interval == iv && r.Owner == owner {
+			c.res = append(c.res[:i], c.res[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseOwner removes every reservation held by owner and returns how many
+// were removed. Used when a supporting schedule is abandoned.
+func (c *Calendar) ReleaseOwner(owner Owner) int {
+	out := c.res[:0]
+	removed := 0
+	for _, r := range c.res {
+		if r.Owner == owner {
+			removed++
+			continue
+		}
+		out = append(out, r)
+	}
+	c.res = out
+	return removed
+}
+
+// ReleaseJob removes every reservation whose owner belongs to job.
+func (c *Calendar) ReleaseJob(job string) int {
+	out := c.res[:0]
+	removed := 0
+	for _, r := range c.res {
+		if r.Owner.Job == job {
+			removed++
+			continue
+		}
+		out = append(out, r)
+	}
+	c.res = out
+	return removed
+}
+
+// FirstFree returns the earliest start t >= earliest such that [t, t+length)
+// is free, searching up to the horizon. ok is false when no such window
+// exists before the horizon.
+func (c *Calendar) FirstFree(earliest, length, horizon simtime.Time) (simtime.Time, bool) {
+	if length <= 0 || earliest >= horizon {
+		return 0, false
+	}
+	t := earliest
+	for _, r := range c.res {
+		if r.Interval.End <= t {
+			continue
+		}
+		if r.Interval.Start >= t+length {
+			break // gap before this reservation is large enough
+		}
+		t = r.Interval.End
+	}
+	if t+length <= horizon {
+		return t, true
+	}
+	return 0, false
+}
+
+// FreeWindows returns the free gaps within the given span.
+func (c *Calendar) FreeWindows(span simtime.Interval) []simtime.Interval {
+	busy := simtime.NewSet()
+	for _, r := range c.res {
+		busy.Add(r.Interval)
+	}
+	return busy.Complement(span).Intervals()
+}
+
+// BusyIn returns the number of reserved ticks inside span.
+func (c *Calendar) BusyIn(span simtime.Interval) simtime.Time {
+	var total simtime.Time
+	for _, r := range c.res {
+		total += r.Interval.Intersect(span).Len()
+	}
+	return total
+}
+
+// UtilizationIn returns the fraction of span covered by reservations.
+func (c *Calendar) UtilizationIn(span simtime.Interval) float64 {
+	if span.Len() == 0 {
+		return 0
+	}
+	return float64(c.BusyIn(span)) / float64(span.Len())
+}
+
+// PruneBefore drops every reservation that ends at or before t, returning
+// how many were removed. Long-running simulations call this periodically:
+// past reservations can never affect future fits, but they linger in the
+// book and slow the linear scans down.
+func (c *Calendar) PruneBefore(t simtime.Time) int {
+	kept := c.res[:0]
+	removed := 0
+	for _, r := range c.res {
+		if r.Interval.End <= t {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.res = kept
+	return removed
+}
+
+// Clone returns a deep copy of the calendar, used for what-if scheduling
+// passes that must not disturb the live book.
+func (c *Calendar) Clone() *Calendar {
+	cp := &Calendar{res: make([]Reservation, len(c.res))}
+	copy(cp.res, c.res)
+	return cp
+}

@@ -1,0 +1,213 @@
+// Package resource models the distributed computing environment of the
+// paper: autonomous heterogeneous processor nodes grouped into domains,
+// each with a reservation calendar managed by its local batch system.
+//
+// Node performance follows §4 of the paper: relative performance in (0,1],
+// with three reporting groups — "fast" (0.66–1.0), "medium" (0.33–0.66) and
+// "slow" (exactly the 0.33 floor) — and four estimation tiers matching the
+// §3 estimation table columns T_i1..T_i4 (a type-k node runs a task k times
+// slower than the type-1 reference).
+package resource
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// NodeID identifies a node within an Environment.
+type NodeID int
+
+// Group is the paper's performance-band classification used in Fig. 3b and
+// Fig. 4a reporting.
+type Group int
+
+// Performance groups in §4's terms.
+const (
+	GroupFast   Group = iota // relative performance 0.66–1.0
+	GroupMedium              // 0.33–0.66
+	GroupSlow                // 0.33 ("slow" nodes)
+)
+
+// String returns the paper's name for the group.
+func (g Group) String() string {
+	switch g {
+	case GroupFast:
+		return "fast"
+	case GroupMedium:
+		return "medium"
+	case GroupSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+}
+
+// GroupOf classifies a relative performance value per §4: the third group
+// sits exactly at the 0.33 floor, everything up to 0.66 is medium, and the
+// rest is fast.
+func GroupOf(perf float64) Group {
+	switch {
+	case perf <= 0.34:
+		return GroupSlow
+	case perf <= 0.66:
+		return GroupMedium
+	default:
+		return GroupFast
+	}
+}
+
+// Tier is the estimation-table column (1 = fastest reference nodes,
+// 4 = slowest) of §3's user estimation table.
+type Tier int
+
+// NumTiers is the number of estimation levels in the §3 table.
+const NumTiers = 4
+
+// TierOf maps relative performance to the nearest estimation tier: a node
+// with performance p runs a task in about BaseTime/p, and tier k's estimate
+// is k×BaseTime, so k = round(1/p) clamped to [1, NumTiers].
+func TierOf(perf float64) Tier {
+	if perf <= 0 {
+		return NumTiers
+	}
+	k := int(1.0/perf + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > NumTiers {
+		k = NumTiers
+	}
+	return Tier(k)
+}
+
+// Node is one autonomous processor node. Perf is relative performance in
+// (0,1]; Price is the economic rate in conventional units per tick of
+// reserved time (faster nodes cost more, §3's "user should pay additional
+// cost in order to use more powerful resource").
+type Node struct {
+	ID     NodeID
+	Name   string
+	Perf   float64
+	Price  float64
+	Domain string
+
+	cal *Calendar
+}
+
+// NewNode creates a node with an empty calendar. Perf must lie in (0, 1].
+func NewNode(id NodeID, name string, perf float64, price float64, domain string) *Node {
+	if perf <= 0 || perf > 1 {
+		panic(fmt.Sprintf("resource: node %q has performance %v outside (0,1]", name, perf))
+	}
+	return &Node{ID: id, Name: name, Perf: perf, Price: price, Domain: domain, cal: NewCalendar()}
+}
+
+// Group returns the node's performance group.
+func (n *Node) Group() Group { return GroupOf(n.Perf) }
+
+// Tier returns the node's estimation tier.
+func (n *Node) Tier() Tier { return TierOf(n.Perf) }
+
+// Calendar returns the node's reservation calendar.
+func (n *Node) Calendar() *Calendar { return n.cal }
+
+// ExecTime converts a type-1 base estimate into this node's execution time:
+// ceil(base / Perf), at least 1 tick for positive base times.
+func (n *Node) ExecTime(base simtime.Time) simtime.Time {
+	if base <= 0 {
+		return 0
+	}
+	t := simtime.Time(float64(base)/n.Perf + 0.9999999)
+	if t < base {
+		t = base // performance never exceeds the type-1 reference
+	}
+	return t
+}
+
+// Environment is the full set of nodes in the virtual organization.
+type Environment struct {
+	nodes []*Node
+}
+
+// NewEnvironment wraps the given nodes; IDs must be dense 0..n-1.
+func NewEnvironment(nodes []*Node) *Environment {
+	for i, n := range nodes {
+		if int(n.ID) != i {
+			panic(fmt.Sprintf("resource: node %q has ID %d at index %d", n.Name, n.ID, i))
+		}
+	}
+	return &Environment{nodes: nodes}
+}
+
+// NumNodes returns the number of nodes.
+func (e *Environment) NumNodes() int { return len(e.nodes) }
+
+// Node returns the node with the given ID.
+func (e *Environment) Node(id NodeID) *Node { return e.nodes[id] }
+
+// Nodes returns all nodes in ID order. The slice is shared; callers must
+// not modify it.
+func (e *Environment) Nodes() []*Node { return e.nodes }
+
+// ByGroup returns the nodes of one performance group, in ID order.
+func (e *Environment) ByGroup(g Group) []*Node {
+	var out []*Node
+	for _, n := range e.nodes {
+		if n.Group() == g {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ByDomain returns the nodes of one domain, in ID order.
+func (e *Environment) ByDomain(domain string) []*Node {
+	var out []*Node
+	for _, n := range e.nodes {
+		if n.Domain == domain {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Domains returns the sorted list of distinct domain names.
+func (e *Environment) Domains() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, n := range e.nodes {
+		if !seen[n.Domain] {
+			seen[n.Domain] = true
+			out = append(out, n.Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FastestFirst returns node IDs sorted by descending performance (ties by
+// ascending ID), the order in which the critical works method prefers
+// candidates.
+func (e *Environment) FastestFirst() []NodeID {
+	ids := make([]NodeID, len(e.nodes))
+	for i := range e.nodes {
+		ids[i] = NodeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		na, nb := e.nodes[ids[a]], e.nodes[ids[b]]
+		if na.Perf != nb.Perf {
+			return na.Perf > nb.Perf
+		}
+		return na.ID < nb.ID
+	})
+	return ids
+}
+
+// Reset clears every node calendar (between experiment repetitions).
+func (e *Environment) Reset() {
+	for _, n := range e.nodes {
+		n.cal = NewCalendar()
+	}
+}

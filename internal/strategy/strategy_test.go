@@ -1,0 +1,440 @@
+package strategy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/criticalworks"
+	"repro/internal/dag"
+	"repro/internal/data"
+	"repro/internal/resource"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func fig2Job(deadline simtime.Time) *dag.Job {
+	b := dag.NewBuilder("fig2").Deadline(deadline)
+	b.Task("P1", 2, 20)
+	b.Task("P2", 3, 30)
+	b.Task("P3", 1, 10)
+	b.Task("P4", 2, 20)
+	b.Task("P5", 1, 10)
+	b.Task("P6", 2, 20)
+	b.Edge("D1", "P1", "P2", 1, 10)
+	b.Edge("D2", "P1", "P3", 1, 10)
+	b.Edge("D3", "P2", "P4", 1, 10)
+	b.Edge("D4", "P2", "P5", 1, 10)
+	b.Edge("D5", "P3", "P4", 1, 10)
+	b.Edge("D6", "P3", "P5", 1, 10)
+	b.Edge("D7", "P4", "P6", 1, 10)
+	b.Edge("D8", "P5", "P6", 1, 10)
+	return b.MustBuild()
+}
+
+// mixedEnv covers all four estimation tiers: perf 1.0 and 0.8 are tier 1,
+// 0.5 tier 2, 0.33 tier 3, 0.25 tier 4.
+func mixedEnv() *resource.Environment {
+	return resource.NewEnvironment([]*resource.Node{
+		resource.NewNode(0, "t1a", 1.0, 1, "d"),
+		resource.NewNode(1, "t1b", 0.8, 1, "d"),
+		resource.NewNode(2, "t2", 0.5, 1, "d"),
+		resource.NewNode(3, "t3", 0.33, 1, "d"),
+		resource.NewNode(4, "t4", 0.25, 1, "d"),
+	})
+}
+
+func TestTypeMetadata(t *testing.T) {
+	tests := []struct {
+		typ    Type
+		name   string
+		policy data.Policy
+		coarse bool
+		levels int
+	}{
+		{S1, "S1", data.ActiveReplication, false, 4},
+		{S2, "S2", data.RemoteAccess, false, 4},
+		{S3, "S3", data.StaticStorage, true, 4},
+		{MS1, "MS1", data.ActiveReplication, false, 2},
+	}
+	for _, tt := range tests {
+		if tt.typ.String() != tt.name {
+			t.Errorf("String = %s", tt.typ.String())
+		}
+		if tt.typ.DataPolicy() != tt.policy {
+			t.Errorf("%s policy = %v", tt.name, tt.typ.DataPolicy())
+		}
+		if tt.typ.CoarseGrain() != tt.coarse {
+			t.Errorf("%s coarse = %v", tt.name, tt.typ.CoarseGrain())
+		}
+		if got := tt.typ.Levels(); len(got) != tt.levels {
+			t.Errorf("%s levels = %v", tt.name, got)
+		}
+	}
+	if lv := MS1.Levels(); lv[0] != 1 || lv[1] != resource.NumTiers {
+		t.Errorf("MS1 levels = %v, want best and worst", lv)
+	}
+}
+
+func TestGenerateS1Fig2(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	s, err := g.Generate(fig2Job(40), S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Type != S1 || s.Scheduled != s.Job {
+		t.Error("S1 must schedule the original fine-grain job")
+	}
+	if len(s.Distributions)+len(s.FailedLevels) != 4 {
+		t.Errorf("levels accounted = %d + %d, want 4", len(s.Distributions), len(s.FailedLevels))
+	}
+	if !s.Admissible() {
+		t.Error("fig2 with deadline 40 must be admissible")
+	}
+	// Level-1 distribution uses all nodes and must finish earliest.
+	if s.Distributions[0].Level != 1 {
+		t.Fatalf("first distribution level = %d", s.Distributions[0].Level)
+	}
+	for _, d := range s.Distributions[1:] {
+		if d.Admissible && d.Finish < s.Distributions[0].Finish {
+			t.Errorf("level %d finishes at %d, before level 1's %d", d.Level, d.Finish, s.Distributions[0].Finish)
+		}
+	}
+	if s.Evaluations <= 0 {
+		t.Error("Evaluations not accumulated")
+	}
+}
+
+func TestLevelRestrictsNodes(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.Distributions {
+		node := env.Node(d.Placements[0].Node)
+		if node.Tier() < d.Level {
+			t.Errorf("level %d used tier-%d node", d.Level, node.Tier())
+		}
+	}
+}
+
+func TestCheapestAdmissiblePrefersSlowLevels(t *testing.T) {
+	// Single task, loose deadline: every level admissible; the level-4
+	// distribution (slowest node, longest T, smallest ceil(V/T)) is
+	// cheapest.
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Distributions) != 4 {
+		t.Fatalf("distributions = %d, want 4", len(s.Distributions))
+	}
+	cheap := s.CheapestAdmissible()
+	if cheap == nil || cheap.Level != 4 {
+		t.Fatalf("cheapest = %+v, want level 4", cheap)
+	}
+	fast := s.FastestAdmissible()
+	if fast == nil || fast.Level != 1 {
+		t.Fatalf("fastest = %+v, want level 1", fast)
+	}
+	if fast.Cost <= cheap.Cost {
+		t.Errorf("fast cost %v not above cheap cost %v — paying for speed is the point", fast.Cost, cheap.Cost)
+	}
+}
+
+func TestTightDeadlineDropsSlowLevels(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("one").Deadline(2)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Admissible() {
+		t.Fatal("level 1 must be admissible at deadline 2")
+	}
+	for _, d := range s.Distributions {
+		if d.Level > 1 && d.Admissible {
+			t.Errorf("level %d admissible at deadline 2 (duration ≥ %d)", d.Level, 2*d.Level)
+		}
+	}
+}
+
+func TestMS1CheaperToGenerateThanS1(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	job := fig2Job(40)
+	s1, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms1, err := g.Generate(job, MS1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms1.Evaluations >= s1.Evaluations {
+		t.Errorf("MS1 evaluations %d not below S1's %d", ms1.Evaluations, s1.Evaluations)
+	}
+	if len(ms1.Distributions)+len(ms1.FailedLevels) != 2 {
+		t.Errorf("MS1 levels = %d", len(ms1.Distributions)+len(ms1.FailedLevels))
+	}
+}
+
+func TestS3SchedulesCoarseJob(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("line").Deadline(100)
+	b.Task("A", 2, 10)
+	b.Task("B", 3, 10)
+	b.Task("C", 2, 10)
+	b.Edge("e1", "A", "B", 4, 5)
+	b.Edge("e2", "B", "C", 4, 5)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S3, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Clustering == nil || s.Scheduled == s.Job {
+		t.Fatal("S3 did not coarsen")
+	}
+	if s.Scheduled.NumTasks() != 1 {
+		t.Errorf("coarse job has %d tasks, want 1", s.Scheduled.NumTasks())
+	}
+	if !s.Admissible() {
+		t.Error("coarse linear job inadmissible at loose deadline")
+	}
+}
+
+func TestAdmissibleAfterSkipsUsedLevels(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[resource.Tier]bool{}
+	var picked []resource.Tier
+	for {
+		d := s.AdmissibleAfter(used)
+		if d == nil {
+			break
+		}
+		picked = append(picked, d.Level)
+		used[d.Level] = true
+	}
+	if len(picked) != 4 {
+		t.Fatalf("fallback sequence = %v, want all 4 levels", picked)
+	}
+	seen := map[resource.Tier]bool{}
+	for _, lv := range picked {
+		if seen[lv] {
+			t.Fatalf("level %d picked twice: %v", lv, picked)
+		}
+		seen[lv] = true
+	}
+	// Costs must be non-decreasing along the fallback order.
+	var lastCost float64 = -1
+	for i, lv := range picked {
+		for _, d := range s.Distributions {
+			if d.Level == lv {
+				if d.Cost < lastCost {
+					t.Errorf("fallback %d (level %d) cost %v below previous %v", i, lv, d.Cost, lastCost)
+				}
+				lastCost = d.Cost
+			}
+		}
+	}
+}
+
+func TestBestWithinBudget(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("one").Deadline(100)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := s.CheapestAdmissible()
+	fast := s.FastestAdmissible()
+	if cheap.Cost >= fast.Cost {
+		t.Skip("no cost spread to exercise")
+	}
+	// An unlimited budget buys the fastest distribution.
+	if got := s.BestWithinBudget(fast.Cost + 1); got.Level != fast.Level {
+		t.Errorf("rich budget picked level %d, want %d", got.Level, fast.Level)
+	}
+	// A budget exactly at the cheapest only affords the cheapest.
+	if got := s.BestWithinBudget(cheap.Cost); got.Level != cheap.Level {
+		t.Errorf("tight budget picked level %d, want %d", got.Level, cheap.Level)
+	}
+	// Below the cheapest, nothing fits.
+	if got := s.BestWithinBudget(cheap.Cost - 0.5); got != nil {
+		t.Errorf("impossible budget returned level %d", got.Level)
+	}
+	// Intermediate budgets buy the fastest affordable option.
+	mid := s.BestWithinBudget(fast.Cost - 0.5)
+	if mid == nil || mid.Cost > fast.Cost-0.5 {
+		t.Errorf("mid budget pick = %+v", mid)
+	}
+	if mid.Finish < fast.Finish {
+		t.Errorf("mid budget finish %d beats the unconstrained fastest %d", mid.Finish, fast.Finish)
+	}
+}
+
+func TestGenerateDoesNotMutateBase(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	base := criticalworks.EmptyCalendars(env)
+	if _, err := g.Generate(fig2Job(40), S1, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range base {
+		if c.Len() != 0 {
+			t.Errorf("base calendar of node %d mutated: %d reservations", id, c.Len())
+		}
+	}
+}
+
+func TestCollisionsByGroupCountsAtContendedNodes(t *testing.T) {
+	// Only one fast node: the level-1 distribution of a fork job must
+	// collide there.
+	env := resource.NewEnvironment([]*resource.Node{
+		resource.NewNode(0, "fast", 1.0, 1, "d"),
+		resource.NewNode(1, "slow", 0.25, 1, "d"),
+	})
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("fork").Deadline(60)
+	b.Task("S", 2, 8)
+	b.Task("A", 4, 16)
+	b.Task("B", 4, 16)
+	b.Edge("dA", "S", "A", 1, 1)
+	b.Edge("dB", "S", "B", 1, 1)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S2, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGroup := s.CollisionsByGroup(env)
+	total := 0
+	for _, n := range byGroup {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no collisions recorded on a contended environment")
+	}
+	if len(s.Collisions()) != total {
+		t.Errorf("Collisions() length %d != group total %d", len(s.Collisions()), total)
+	}
+}
+
+func TestFailedLevelsWhenNoCandidates(t *testing.T) {
+	// Environment with only tier-1 nodes: levels 2..4 have no candidates.
+	env := resource.NewEnvironment([]*resource.Node{
+		resource.NewNode(0, "f", 1.0, 1, "d"),
+	})
+	g := &Generator{Env: env}
+	b := dag.NewBuilder("one").Deadline(50)
+	b.Task("T", 2, 20)
+	job := b.MustBuild()
+	s, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Distributions) != 1 || len(s.FailedLevels) != 3 {
+		t.Errorf("distributions=%d failed=%v", len(s.Distributions), s.FailedLevels)
+	}
+}
+
+func TestQuickGenerateDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func() *Strategy {
+			r := rng.New(seed)
+			env := mixedEnv()
+			b := dag.NewBuilder("q").Deadline(simtime.Time(r.IntBetween(10, 120)))
+			n := r.IntBetween(1, 6)
+			names := make([]string, n)
+			for i := range names {
+				names[i] = string(rune('A' + i))
+				b.Task(names[i], simtime.Time(r.IntBetween(1, 5)), int64(r.IntBetween(1, 30)))
+			}
+			for to := 1; to < n; to++ {
+				for from := 0; from < to; from++ {
+					if r.Bool(0.3) {
+						b.Edge(names[from]+names[to], names[from], names[to], simtime.Time(r.Intn(3)), 1)
+					}
+				}
+			}
+			job := b.MustBuild()
+			typ := AllTypes[r.Intn(len(AllTypes))]
+			g := &Generator{Env: env}
+			s, err := g.Generate(job, typ, criticalworks.EmptyCalendars(env), 0)
+			if err != nil {
+				return nil
+			}
+			return s
+		}
+		a, c := mk(), mk()
+		if (a == nil) != (c == nil) {
+			return false
+		}
+		if a == nil {
+			return true
+		}
+		if len(a.Distributions) != len(c.Distributions) || a.Evaluations != c.Evaluations {
+			return false
+		}
+		for i := range a.Distributions {
+			da, dc := a.Distributions[i], c.Distributions[i]
+			if da.Level != dc.Level || da.Cost != dc.Cost || da.Finish != dc.Finish || da.Admissible != dc.Admissible {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdmissibleMeansDeadlineMet(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		env := mixedEnv()
+		b := dag.NewBuilder("q").Deadline(simtime.Time(r.IntBetween(5, 80)))
+		b.Task("A", simtime.Time(r.IntBetween(1, 6)), 10)
+		b.Task("B", simtime.Time(r.IntBetween(1, 6)), 10)
+		b.Edge("e", "A", "B", simtime.Time(r.Intn(4)), 1)
+		job := b.MustBuild()
+		g := &Generator{Env: env}
+		s, err := g.Generate(job, AllTypes[r.Intn(4)], criticalworks.EmptyCalendars(env), 0)
+		if err != nil {
+			return false
+		}
+		for _, d := range s.Distributions {
+			if d.Admissible != (d.Finish <= job.Deadline) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
