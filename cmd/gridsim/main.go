@@ -25,6 +25,12 @@ func main() {
 		jobs = flag.Int("jobs", 1000, "corpus size for the statistical experiments (the paper used >12000 for fig3)")
 		seed = flag.Uint64("seed", 1, "deterministic seed")
 		list = flag.Bool("list", false, "list the experiment ids and what they regenerate")
+
+		// Fault-injection knobs for the availability sweep (E12).
+		mtbf       = flag.Float64("mtbf", 0, "mean time between node failures; overrides the sweep's availability levels when set (requires -mttr)")
+		mttr       = flag.Float64("mttr", 20, "mean outage duration in ticks")
+		taskFail   = flag.Float64("task-fail-rate", 0.05, "per-activation probability a running job loses a task")
+		maxRetries = flag.Int("max-retries", 2, "bounded retry attempts before falling back to remaining supporting levels")
 	)
 	flag.Parse()
 
@@ -42,6 +48,7 @@ func main() {
 			{"ablation-levels", "E9: S1 vs MS1 generation expense and coverage"},
 			{"comparison", "E10: critical works vs min-min/max-min/sufferage/OLB"},
 			{"local-passing", "E11: advance reservations vs queued local passing"},
+			{"availability", "E12: QoS-miss rate and TTL vs node availability (fault injection)"},
 		} {
 			fmt.Printf("  %-20s %s\n", row[0], row[1])
 		}
@@ -80,9 +87,22 @@ func main() {
 		"local-passing": func() (*experiments.Report, error) {
 			return experiments.LocalPassing(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
 		},
+		"availability": func() (*experiments.Report, error) {
+			cfg := experiments.DefaultAvailability(*seed, availabilityScale(*jobs))
+			cfg.MTTR = *mttr
+			cfg.TaskFailRate = *taskFail
+			cfg.MaxRetries = *maxRetries
+			if *mtbf > 0 {
+				// A fixed MTBF pins the sweep to the baseline plus the one
+				// availability level it implies.
+				cfg.Levels = []float64{1.0, *mtbf / (*mtbf + *mttr)}
+			}
+			return experiments.Availability(cfg)
+		},
 	}
 	order := []string{"fig2", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c",
-		"policies", "ablation-collision", "ablation-levels", "comparison", "local-passing"}
+		"policies", "ablation-collision", "ablation-levels", "comparison", "local-passing",
+		"availability"}
 
 	var selected []string
 	if *exp == "all" {
@@ -124,6 +144,16 @@ func fig4Scale(jobs int) int {
 func ablationScale(jobs int) int {
 	if jobs > 2000 {
 		return 2000
+	}
+	return jobs
+}
+
+// availabilityScale caps the fault sweep: it runs one VO per
+// (strategy, availability) pair, an order of magnitude more simulation
+// than a single fig4 run.
+func availabilityScale(jobs int) int {
+	if jobs > 200 {
+		return 200
 	}
 	return jobs
 }

@@ -1,0 +1,102 @@
+// Faulttolerance demonstrates the fault-injection subsystem: a job flow
+// scheduled across two domains while nodes crash (losing their reservation
+// books), whole domains go dark, and running jobs lose tasks mid-execution.
+// Failed jobs climb the recovery ladder — bounded retry with exponential
+// backoff in the same domain, then the remaining supporting levels, then
+// cross-domain reallocation, then rejection — and the run's fault record
+// is printed alongside the QoS outcome. The fault schedule is a pure
+// function of the seed: re-running this program reprints the same trace.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/criticalworks"
+	"repro/internal/faults"
+	"repro/internal/metasched"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := workload.Default(7)
+	cfg.DeadlineFactor = 1.8
+	cfg.MeanInterarrival = 15
+	gen := workload.New(cfg)
+	env := gen.Environment(2)
+	engine := sim.New()
+
+	flow := gen.Flow(0, 40, 0)
+	horizon := flow[len(flow)-1].At + 200
+
+	fcfg := faults.Config{
+		MTBF:             400, // ≈95% availability with MTTR 20
+		MTTR:             20,
+		DomainOutageProb: 0.15,
+		TaskFailRate:     0.08,
+		MaxRetries:       2,
+		Until:            horizon,
+		Seed:             7,
+	}
+	fmt.Printf("environment: %d nodes in %d domains, node availability ≈ %.0f%%\n",
+		env.NumNodes(), len(env.Domains()), 100*fcfg.Availability())
+
+	var tracer metasched.MemoryTracer
+	vo := metasched.NewVO(engine, env, metasched.Config{
+		Objective: criticalworks.MinCost,
+		Seed:      7,
+		Faults:    fcfg,
+		Tracer:    &tracer,
+	})
+	for _, a := range flow {
+		vo.Submit(a.Job, strategy.S2, a.At)
+	}
+	end := engine.Run()
+
+	fmt.Printf("\nfault timeline (first 12 fault events of %d):\n",
+		tracer.Count(metasched.EventNodeDown)+tracer.Count(metasched.EventTaskFailed)+
+			tracer.Count(metasched.EventRetry))
+	shown := 0
+	for _, e := range tracer.Events() {
+		switch e.Kind {
+		case metasched.EventNodeDown:
+			scope := fmt.Sprintf("node %d", e.Node)
+			if e.Domain != "" {
+				scope = "domain " + e.Domain
+			}
+			fmt.Printf("  t=%-5d %s down until t=%d\n", e.At, scope, e.End)
+		case metasched.EventTaskFailed:
+			fmt.Printf("  t=%-5d %s failed (%s)\n", e.At, e.Job, e.Detail)
+		case metasched.EventRetry:
+			fmt.Printf("  t=%-5d %s retry #%d, backoff until t=%d\n", e.At, e.Job, e.Level, e.Start)
+		default:
+			continue
+		}
+		if shown++; shown >= 12 {
+			break
+		}
+	}
+
+	completed, rejected, recovered := 0, 0, 0
+	for _, r := range vo.Results() {
+		if r.State == metasched.StateCompleted {
+			completed++
+			if r.TaskFailures > 0 {
+				recovered++
+			}
+		} else {
+			rejected++
+		}
+	}
+	fmt.Printf("\nQoS after %d ticks: %d completed (%d despite failures), %d rejected\n",
+		end, completed, recovered, rejected)
+	fmt.Printf("fault record: %s\n", vo.FaultStats())
+
+	fmt.Println("\nper-node downtime:")
+	for _, n := range env.Nodes() {
+		if d := n.Downtime(end); d > 0 {
+			fmt.Printf("  %-8s %4d ticks across %d outages\n", n.Name, d, len(n.Outages()))
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/criticalworks"
+	"repro/internal/faults"
+	"repro/internal/metasched"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// AvailabilityConfig parameterizes the fault-injection sweep (E12): one VO
+// run per (strategy family, node availability level), the same workload
+// and fault seed at every level so only the outage intensity varies.
+type AvailabilityConfig struct {
+	Seed    uint64
+	Jobs    int
+	Domains int
+
+	// Levels are the steady-state node availabilities to sweep, from 1.0
+	// (faults off, the seed baseline) downward.
+	Levels []float64
+	// MTTR is the mean outage duration; MTBF is derived per level as
+	// MTTR·a/(1−a).
+	MTTR float64
+	// TaskFailRate and MaxRetries tune the mid-run failure ladder.
+	TaskFailRate float64
+	MaxRetries   int
+}
+
+// DefaultAvailability returns the calibrated sweep configuration.
+func DefaultAvailability(seed uint64, jobs int) AvailabilityConfig {
+	return AvailabilityConfig{
+		Seed:         seed,
+		Jobs:         jobs,
+		Domains:      2,
+		Levels:       []float64{1.0, 0.98, 0.95, 0.9, 0.8},
+		MTTR:         20,
+		TaskFailRate: 0.05,
+		MaxRetries:   2,
+	}
+}
+
+// availOutcome aggregates one (type, availability) run.
+type availOutcome struct {
+	missRate  float64
+	meanTTL   float64
+	fallbacks int
+	reallocs  int
+	stats     *metrics.FaultStats
+}
+
+// runAvailability executes one VO run with the outage process tuned to
+// the given availability. No background (external) load: the sweep
+// isolates the fault model's effect.
+func runAvailability(cfg AvailabilityConfig, typ strategy.Type, avail float64) (*availOutcome, error) {
+	gen := workload.New(fig4Workload(cfg.Seed))
+	env := gen.Environment(cfg.Domains)
+	engine := sim.New()
+
+	flow := gen.Flow(0, cfg.Jobs, 0)
+	var until int64
+	if len(flow) > 0 {
+		until = flow[len(flow)-1].At + 200
+	}
+	mtbf, mttr := faults.ForAvailability(avail, cfg.MTTR)
+	fcfg := faults.Config{
+		MTBF:             mtbf,
+		MTTR:             mttr,
+		DomainOutageProb: 0.1,
+		TaskFailRate:     cfg.TaskFailRate,
+		MaxRetries:       cfg.MaxRetries,
+		Until:            until,
+		Seed:             cfg.Seed,
+	}
+	if avail >= 1 {
+		fcfg = faults.Config{}
+	}
+	vo := metasched.NewVO(engine, env, metasched.Config{
+		Objective: criticalworks.MinCost,
+		Seed:      cfg.Seed,
+		Faults:    fcfg,
+	})
+	for _, a := range flow {
+		vo.Submit(a.Job, typ, a.At)
+	}
+	engine.Run()
+
+	out := &availOutcome{stats: vo.FaultStats()}
+	var ttl metrics.Series
+	total, rejected := 0, 0
+	for _, r := range vo.Results() {
+		total++
+		out.fallbacks += r.Fallbacks
+		out.reallocs += r.Reallocations
+		for _, t := range r.TTLs {
+			ttl.AddInt(int64(t))
+		}
+		if r.State != metasched.StateCompleted {
+			rejected++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("experiments: availability %v/%v ran no jobs", typ, avail)
+	}
+	out.missRate = float64(rejected) / float64(total)
+	out.meanTTL = ttl.Mean()
+	return out, nil
+}
+
+// Availability runs the fault-injection sweep: QoS-miss rate and mean
+// strategy time-to-live versus node availability, per strategy family
+// S1–S3. As availability drops, the miss rate must rise (within noise)
+// and plans live shorter — the quantitative cost of an unreliable
+// environment that the supporting-schedule machinery absorbs.
+func Availability(cfg AvailabilityConfig) (*Report, error) {
+	types := []strategy.Type{strategy.S1, strategy.S2, strategy.S3}
+	r := newReport("availability",
+		"QoS-miss rate and strategy TTL vs node availability (fault-injection sweep)")
+	r.addLine("%-6s %7s %10s %10s %10s %9s %9s %9s %8s", "type", "avail",
+		"miss-rate", "mean-ttl", "failures", "retries", "fallbk", "realloc", "outages")
+	for _, typ := range types {
+		for _, avail := range cfg.Levels {
+			o, err := runAvailability(cfg, typ, avail)
+			if err != nil {
+				return nil, err
+			}
+			r.addLine("%-6s %7.2f %10s %10.1f %10d %9d %9d %9d %8d",
+				typ, avail, metrics.Ratio(o.missRate), o.meanTTL,
+				o.stats.TaskFailures, o.stats.Retries,
+				o.fallbacks, o.reallocs, o.stats.NodeOutages)
+			key := fmt.Sprintf("%s-%.2f", typ, avail)
+			r.Values["miss-"+key] = o.missRate
+			r.Values["ttl-"+key] = o.meanTTL
+			r.Values["failures-"+key] = float64(o.stats.TaskFailures)
+			r.Values["retries-"+key] = float64(o.stats.Retries)
+			r.Values["reallocs-"+key] = float64(o.reallocs)
+		}
+	}
+	return r, nil
+}

@@ -303,3 +303,54 @@ func TestReportValuePanicsOnUnknownKey(t *testing.T) {
 	}()
 	r.Value("nope")
 }
+
+func TestAvailabilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus experiment")
+	}
+	cfg := DefaultAvailability(1, 60)
+	cfg.Levels = []float64{1.0, 0.9, 0.8}
+	r, err := Availability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []string{"S1", "S2", "S3"} {
+		base := r.Value("miss-" + typ + "-1.00")
+		worst := r.Value("miss-" + typ + "-0.80")
+		// The fault-free baseline must be the best case: an unreliable
+		// environment cannot lower the QoS-miss rate.
+		if worst < base {
+			t.Errorf("%s: miss rate at 80%% availability (%v) below baseline (%v)",
+				typ, worst, base)
+		}
+		// The baseline runs with faults disabled: no failure machinery fires.
+		if r.Value("failures-"+typ+"-1.00") != 0 || r.Value("retries-"+typ+"-1.00") != 0 {
+			t.Errorf("%s: fault counters nonzero in the fault-free baseline", typ)
+		}
+		// Degraded runs actually exercise the recovery ladder.
+		if r.Value("failures-"+typ+"-0.80") == 0 {
+			t.Errorf("%s: no task failures at 80%% availability", typ)
+		}
+	}
+}
+
+func TestAvailabilityDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus experiment")
+	}
+	cfg := DefaultAvailability(3, 30)
+	cfg.Levels = []float64{0.9}
+	a, err := Availability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Availability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Values {
+		if b.Values[k] != v {
+			t.Errorf("value %q differs across identical faulty runs: %v vs %v", k, v, b.Values[k])
+		}
+	}
+}

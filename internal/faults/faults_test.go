@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+func testEnv() *resource.Environment {
+	perfs := []float64{1.0, 0.5, 0.33, 0.27, 0.8, 0.4}
+	nodes := make([]*resource.Node, len(perfs))
+	for i, p := range perfs {
+		dom := "dom-0"
+		if i >= 3 {
+			dom = "dom-1"
+		}
+		nodes[i] = resource.NewNode(resource.NodeID(i), "n", p, p, dom)
+	}
+	return resource.NewEnvironment(nodes)
+}
+
+func TestZeroConfigDisabled(t *testing.T) {
+	var cfg Config
+	if cfg.Enabled() || cfg.OutagesEnabled() {
+		t.Error("zero config not disabled")
+	}
+	if got := Schedule(cfg, testEnv()); got != nil {
+		t.Errorf("zero config produced outages: %v", got)
+	}
+	if cfg.Availability() != 1 {
+		t.Errorf("zero-config availability = %v, want 1", cfg.Availability())
+	}
+}
+
+func TestScheduleDeterministicSortedAndBounded(t *testing.T) {
+	cfg := Config{MTBF: 50, MTTR: 10, DomainOutageProb: 0.3, Until: 1000, Seed: 9}
+	env := testEnv()
+	a, b := Schedule(cfg, env), Schedule(cfg, env)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("schedule not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no outages generated")
+	}
+	for i, o := range a {
+		if o.Interval.Start >= cfg.Until {
+			t.Errorf("outage %d starts at %d, beyond horizon %d", i, o.Interval.Start, cfg.Until)
+		}
+		if o.Interval.Len() < 1 {
+			t.Errorf("outage %d has empty window %v", i, o.Interval)
+		}
+		if i > 0 && a[i-1].Interval.Start > o.Interval.Start {
+			t.Errorf("outages out of order at %d", i)
+		}
+	}
+}
+
+func TestSchedulePerNodeStreamsIndependent(t *testing.T) {
+	// A node's outage stream must not shift when the config changes only
+	// the horizon: the first outages of a longer schedule are a superset
+	// prefix per node.
+	env := testEnv()
+	short := Schedule(Config{MTBF: 40, MTTR: 8, Until: 500, Seed: 3}, env)
+	long := Schedule(Config{MTBF: 40, MTTR: 8, Until: 2000, Seed: 3}, env)
+	inLong := make(map[Outage]bool, len(long))
+	for _, o := range long {
+		inLong[o] = true
+	}
+	for _, o := range short {
+		if !inLong[o] {
+			t.Errorf("outage %+v of the short schedule missing from the long one", o)
+		}
+	}
+}
+
+func TestDomainOutageProbability(t *testing.T) {
+	env := testEnv()
+	all := Schedule(Config{MTBF: 30, MTTR: 5, DomainOutageProb: 1, Until: 2000, Seed: 1}, env)
+	for _, o := range all {
+		if o.Domain == "" {
+			t.Fatalf("prob 1 produced node-only outage %+v", o)
+		}
+	}
+	none := Schedule(Config{MTBF: 30, MTTR: 5, DomainOutageProb: 0, Until: 2000, Seed: 1}, env)
+	for _, o := range none {
+		if o.Domain != "" {
+			t.Fatalf("prob 0 produced domain outage %+v", o)
+		}
+	}
+}
+
+func TestAvailabilityRoundTrip(t *testing.T) {
+	for _, want := range []float64{0.99, 0.9, 0.75, 0.5} {
+		mtbf, mttr := ForAvailability(want, 20)
+		cfg := Config{MTBF: mtbf, MTTR: mttr}
+		if got := cfg.Availability(); got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("availability(%v) round-tripped to %v", want, got)
+		}
+	}
+	if mtbf, _ := ForAvailability(1.0, 20); mtbf != 0 {
+		t.Errorf("availability 1 gave MTBF %v, want 0 (disabled)", mtbf)
+	}
+}
+
+func TestBackoffDoublesAndSaturates(t *testing.T) {
+	cfg := Config{RetryBackoff: 3}
+	for i, want := range []simtime.Time{3, 6, 12, 24} {
+		if got := cfg.Backoff(i + 1); got != want {
+			t.Errorf("backoff(%d) = %d, want %d", i+1, got, want)
+		}
+	}
+	var def Config
+	if def.Backoff(1) != DefaultBackoff {
+		t.Errorf("default base = %d, want %d", def.Backoff(1), DefaultBackoff)
+	}
+	// A pathological attempt count must saturate, not wrap negative.
+	if got := def.Backoff(200); got <= 0 {
+		t.Errorf("backoff(200) = %d, wrapped", got)
+	}
+}

@@ -20,7 +20,23 @@
 //     metascheduler for reallocation to another domain; if that fails too,
 //     the job is rejected — a QoS miss.
 //  5. Once the first task starts, the allocation is guaranteed (advance
-//     reservations, §5) and the job runs to its planned finish.
+//     reservations, §5) and the job runs to its planned finish — unless
+//     fault injection is enabled, in which case a node outage or a mid-run
+//     task failure can kill the running job and send it through the
+//     recovery ladder below.
+//
+// Fault injection (Config.Faults, see internal/faults) breaks the benign
+// model deliberately: node and domain outages void the affected calendars
+// and evict every plan touching them, and running jobs can lose a task
+// mid-execution. A failed running job escalates through
+//
+//	retry (same domain, exponential backoff, ≤ MaxRetries)
+//	→ fallback (remaining supporting levels)
+//	→ cross-domain reallocation
+//	→ rejection (QoS miss).
+//
+// With a zero fault config none of these paths is armed and a run is
+// byte-identical to the fault-free simulator.
 package metasched
 
 import (
@@ -30,6 +46,8 @@ import (
 	"repro/internal/criticalworks"
 	"repro/internal/dag"
 	"repro/internal/economy"
+	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/resource"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -67,6 +85,11 @@ type Config struct {
 
 	// Seed drives the injector's randomness.
 	Seed uint64
+
+	// Faults configures deterministic fault injection (node/domain
+	// outages and mid-run task failures). The zero value disables it
+	// entirely and reproduces the fault-free simulator exactly.
+	Faults faults.Config
 }
 
 // PlacementPolicy selects how the metascheduler distributes arriving jobs
@@ -151,6 +174,14 @@ type JobResult struct {
 	// metascheduler-level domain moves.
 	Fallbacks, Reallocations int
 
+	// TaskFailures counts mid-run failures (task deaths and node crashes
+	// under a running job); Retries counts the backoff-delayed recovery
+	// attempts they triggered. Zero without fault injection.
+	TaskFailures, Retries int
+	// Downtime is the model time the job spent failed: from each failure
+	// to its next successful activation (or terminal rejection).
+	Downtime simtime.Time
+
 	// Collisions aggregated over all generation passes, by node.
 	Collisions []criticalworks.Collision
 
@@ -190,7 +221,10 @@ type activeJob struct {
 	everActivated bool
 	finishEv      sim.Handle
 	startEv       sim.Handle
+	failEv        sim.Handle
 	triedDom      map[string]bool
+	retries       int          // recovery attempts consumed
+	failedAt      simtime.Time // last unrecovered failure time, -1 if none
 }
 
 // JobManager owns one domain's nodes and keeps its jobs' strategies alive.
@@ -217,6 +251,9 @@ type VO struct {
 	extRng   *rng.Source
 	extOn    bool
 	rrNext   int // round-robin cursor
+
+	failRng *rng.Source // mid-run task-failure draws, nil when disabled
+	fstats  metrics.FaultStats
 }
 
 // NewVO builds the hierarchy over env: one job manager per distinct node
@@ -257,8 +294,20 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 		vo.extOn = true
 		vo.scheduleNextExternal()
 	}
+	if cfg.Faults.TaskFailRate > 0 {
+		vo.failRng = rng.New(cfg.Faults.Seed).Split(0xF417)
+	}
+	for _, o := range faults.Schedule(cfg.Faults, env) {
+		o := o
+		vo.engine.At(o.Interval.Start, "node-down", func() { vo.outageDown(o) })
+		vo.engine.At(o.Interval.End, "node-up", func() { vo.outageUp(o) })
+	}
 	return vo
 }
+
+// FaultStats returns the run's aggregated fault-injection record; all
+// zeros when fault injection is disabled.
+func (vo *VO) FaultStats() *metrics.FaultStats { return &vo.fstats }
 
 // Managers returns the domain managers in domain-name order.
 func (vo *VO) Managers() []*JobManager { return vo.managers }
@@ -272,33 +321,42 @@ func (vo *VO) Submit(job *dag.Job, typ strategy.Type, at simtime.Time) {
 }
 
 // arrive implements the metascheduler's flow distribution: pick the least
-// loaded domain and hand the job to its manager.
+// loaded domain and hand the job to its manager. With every domain down
+// (fault injection) the job is rejected on arrival.
 func (vo *VO) arrive(job *dag.Job, typ strategy.Type) {
 	m := vo.placeJob(nil)
-	vo.trace(EventArrive, job.Name, m.domain, nil)
 	res := &JobResult{
 		Job:     job,
 		Type:    typ,
-		Domain:  m.domain,
 		Arrival: vo.engine.Now(),
 		State:   StateRejected, // until proven otherwise
 	}
 	aj := &activeJob{
 		result:   res,
-		manager:  m,
 		used:     make(map[resource.Tier]bool),
-		triedDom: map[string]bool{m.domain: true},
+		triedDom: map[string]bool{},
+		failedAt: -1,
 	}
+	if m == nil {
+		vo.trace(EventArrive, job.Name, "", nil)
+		vo.finalize(aj, StateRejected)
+		return
+	}
+	res.Domain = m.domain
+	aj.manager = m
+	aj.triedDom[m.domain] = true
+	vo.trace(EventArrive, job.Name, m.domain, nil)
 	vo.active[job.Name] = aj
 	m.adopt(aj, true)
 }
 
-// placeJob applies the configured placement policy, excluding `except`.
+// placeJob applies the configured placement policy, excluding `except`
+// and (degraded-mode placement) domains whose every node is down.
 func (vo *VO) placeJob(except map[string]bool) *JobManager {
 	if vo.cfg.Placement == PlaceRoundRobin {
 		for i := 0; i < len(vo.managers); i++ {
 			m := vo.managers[(vo.rrNext+i)%len(vo.managers)]
-			if except[m.domain] {
+			if except[m.domain] || !vo.env.DomainUp(m.domain) {
 				continue
 			}
 			vo.rrNext = (vo.rrNext + i + 1) % len(vo.managers)
@@ -310,14 +368,14 @@ func (vo *VO) placeJob(except map[string]bool) *JobManager {
 }
 
 // leastLoaded returns the manager whose pool has the fewest reserved
-// future ticks, excluding domains in `except`.
+// future ticks, excluding domains in `except` and fully-down domains.
 func (vo *VO) leastLoaded(except map[string]bool) *JobManager {
 	now := vo.engine.Now()
 	span := simtime.Interval{Start: now, End: now + 1000}
 	var best *JobManager
 	var bestLoad float64
 	for _, m := range vo.managers {
-		if except[m.domain] {
+		if except[m.domain] || !vo.env.DomainUp(m.domain) {
 			continue
 		}
 		var load float64
@@ -386,6 +444,12 @@ func (m *JobManager) activate(aj *activeJob, d *strategy.Distribution) {
 		aj.result.InitialLevel = d.Level
 		aj.result.PlannedStart = d.Start
 	}
+	if aj.failedAt >= 0 {
+		// The job was down since its last failure; this activation ends
+		// the outage-induced wait.
+		aj.result.Downtime += now - aj.failedAt
+		aj.failedAt = -1
+	}
 	aj.result.FinalLevel = d.Level
 	aj.result.ActualStart = d.Start
 	m.vo.trace(EventActivate, aj.result.Job.Name, m.domain, func(e *Event) {
@@ -399,10 +463,31 @@ func (m *JobManager) activate(aj *activeJob, d *strategy.Distribution) {
 	aj.finishEv = m.vo.engine.At(d.Finish, "finish "+aj.result.Job.Name, func() {
 		m.complete(aj)
 	})
+	m.armTaskFailure(aj, d)
 	aj.result.State = StatePlanned
 	if d.Start <= now {
 		aj.result.State = StateExecuting
 	}
+}
+
+// armTaskFailure draws, at activation time, whether this plan will lose a
+// task mid-run and schedules the failure if so. Drawing here keeps the
+// failure stream a deterministic function of the activation sequence.
+func (m *JobManager) armTaskFailure(aj *activeJob, d *strategy.Distribution) {
+	vo := m.vo
+	if vo.failRng == nil {
+		return
+	}
+	span := d.Finish - d.Start
+	if span < 2 || !vo.failRng.Bool(vo.cfg.Faults.TaskFailRate) {
+		return
+	}
+	// The task dies strictly inside the execution window, after the start
+	// event of its tick (start events precede failure events in the queue).
+	at := d.Start + 1 + vo.failRng.Int64n(int64(span-1))
+	aj.failEv = vo.engine.At(at, "task-fail "+aj.result.Job.Name, func() {
+		m.taskFailed(aj, "task died mid-run")
+	})
 }
 
 // complete finalizes a job that ran to plan.
@@ -417,22 +502,69 @@ func (m *JobManager) complete(aj *activeJob) {
 	for _, p := range d.Placements {
 		total += p.Window.Len()
 	}
-	aj.result.MeanTaskTime = float64(total) / float64(len(d.Placements))
+	aj.result.MeanTaskTime = 0
+	if len(d.Placements) > 0 {
+		aj.result.MeanTaskTime = float64(total) / float64(len(d.Placements))
+	}
+	if aj.result.TaskFailures > 0 {
+		m.vo.fstats.Recoveries++
+	}
 	m.vo.finalize(aj, StateCompleted)
 }
 
-// teardown removes the job's current plan from the calendars and records
-// its time-to-live; the caller decides what happens next.
-func (m *JobManager) teardown(aj *activeJob) {
+// release removes the job's current plan from the calendars, cancels its
+// pending events and records the plan's time-to-live. The caller decides
+// what happens next (fallback, retry, rejection).
+func (m *JobManager) release(aj *activeJob) {
 	now := m.vo.engine.Now()
-	m.vo.trace(EventEvict, aj.result.Job.Name, m.domain, nil)
 	aj.result.TTLs = append(aj.result.TTLs, now-aj.activate)
 	aj.startEv.Cancel()
 	aj.finishEv.Cancel()
+	aj.failEv.Cancel()
 	for _, id := range m.pool {
 		m.vo.env.Node(id).Calendar().ReleaseJob(aj.result.Job.Name)
 	}
 	aj.current = nil
+	aj.result.State = StatePlanned
+}
+
+// teardown is an eviction: the plan of a not-yet-started job is removed
+// because the environment claimed one of its windows.
+func (m *JobManager) teardown(aj *activeJob) {
+	m.vo.trace(EventEvict, aj.result.Job.Name, m.domain, nil)
+	m.release(aj)
+}
+
+// taskFailed handles a running job losing a task (mid-run failure or a
+// node crashing under it): the broken plan is released and the job enters
+// the recovery ladder — bounded retry with exponential backoff re-anchoring
+// the strategy in the same domain, then the remaining supporting levels,
+// then cross-domain reallocation, then rejection.
+func (m *JobManager) taskFailed(aj *activeJob, detail string) {
+	vo := m.vo
+	now := vo.engine.Now()
+	aj.result.TaskFailures++
+	vo.fstats.TaskFailures++
+	vo.trace(EventTaskFailed, aj.result.Job.Name, m.domain, func(e *Event) {
+		e.Detail = detail
+	})
+	m.release(aj)
+	aj.failedAt = now
+	if aj.retries < vo.cfg.Faults.MaxRetries {
+		aj.retries++
+		aj.result.Retries++
+		vo.fstats.Retries++
+		at := now + vo.cfg.Faults.Backoff(aj.retries)
+		vo.trace(EventRetry, aj.result.Job.Name, m.domain, func(e *Event) {
+			e.Level = aj.retries
+			e.Start = at
+		})
+		vo.engine.At(at, "retry "+aj.result.Job.Name, func() {
+			m.adopt(aj, false)
+		})
+		return
+	}
+	m.fallback(aj)
 }
 
 // fallback re-anchors the next supporting level at the current time; when
@@ -491,6 +623,13 @@ func (vo *VO) finalize(aj *activeJob, st State) {
 		aj.result.Finish = vo.engine.Now()
 		kind = EventReject
 	}
+	if aj.failedAt >= 0 {
+		aj.result.Downtime += vo.engine.Now() - aj.failedAt
+		aj.failedAt = -1
+	}
+	if aj.result.TaskFailures > 0 {
+		vo.fstats.Downtime.Add(float64(aj.result.Downtime))
+	}
 	vo.trace(kind, aj.result.Job.Name, aj.result.Domain, nil)
 	delete(vo.active, aj.result.Job.Name)
 	vo.results = append(vo.results, aj.result)
@@ -502,6 +641,81 @@ func (vo *VO) finalize(aj *activeJob, st State) {
 			n.Calendar().PruneBefore(now)
 		}
 	}
+}
+
+// outageDown applies one fault-schedule outage: every affected node is
+// marked down and its reservation book voided FIRST (so recovery never
+// replans onto a sibling node dying in the same event), then the evicted
+// jobs recover in deterministic name order. Running jobs whose unfinished
+// windows were voided go through the task-failure ladder; waiting jobs
+// through the ordinary eviction/fallback path.
+func (vo *VO) outageDown(o faults.Outage) {
+	now := vo.engine.Now()
+	ids := []resource.NodeID{o.Node}
+	if o.Domain != "" {
+		ids = ids[:0]
+		for _, n := range vo.env.ByDomain(o.Domain) {
+			ids = append(ids, n.ID)
+		}
+	}
+	vo.fstats.NodeOutages++
+	if o.Domain != "" {
+		vo.fstats.DomainOutages++
+	}
+	vo.trace(EventNodeDown, "", o.Domain, func(e *Event) {
+		e.Node = int(o.Node)
+		e.Start, e.End = o.Interval.Start, o.Interval.End
+	})
+	victims := make(map[string]*activeJob)
+	for _, id := range ids {
+		n := vo.env.Node(id)
+		n.MarkDown(now)
+		for _, r := range n.Calendar().Void() {
+			if r.Owner == resource.External {
+				continue
+			}
+			// A window that already finished did its work before the
+			// crash; only unfinished windows break the owning job.
+			if r.Interval.End <= now {
+				continue
+			}
+			if aj, ok := vo.active[r.Owner.Job]; ok && aj.current != nil {
+				victims[r.Owner.Job] = aj
+			}
+		}
+	}
+	names := make([]string, 0, len(victims))
+	for name := range victims {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		aj := victims[name]
+		if aj.result.State == StateExecuting {
+			aj.manager.taskFailed(aj, "node down under running task")
+			continue
+		}
+		aj.manager.teardown(aj)
+		aj.manager.fallback(aj)
+	}
+}
+
+// outageUp ends one outage window.
+func (vo *VO) outageUp(o faults.Outage) {
+	now := vo.engine.Now()
+	ids := []resource.NodeID{o.Node}
+	if o.Domain != "" {
+		ids = ids[:0]
+		for _, n := range vo.env.ByDomain(o.Domain) {
+			ids = append(ids, n.ID)
+		}
+	}
+	for _, id := range ids {
+		vo.env.Node(id).MarkUp(now)
+	}
+	vo.trace(EventNodeUp, "", o.Domain, func(e *Event) {
+		e.Node = int(o.Node)
+	})
 }
 
 // scheduleNextExternal arms the background-load injector.
@@ -537,6 +751,10 @@ func (vo *VO) injectExternal() {
 // are evicted and replan. It returns the booked window.
 func (vo *VO) InjectExternalLoad(node resource.NodeID, dur, earliest simtime.Time) (simtime.Interval, bool) {
 	if dur <= 0 {
+		return simtime.Interval{}, false
+	}
+	if !vo.env.Node(node).Up() {
+		// The node's local batch system is down; the arrival is lost.
 		return simtime.Interval{}, false
 	}
 	cal := vo.env.Node(node).Calendar()

@@ -23,6 +23,16 @@ const (
 	EventComplete   EventKind = "complete"
 	EventReject     EventKind = "reject"
 	EventExternal   EventKind = "external"
+
+	// Fault-injection events (see internal/faults). EventNodeDown/Up mark
+	// outage boundaries (Domain set on whole-domain outages); EventTaskFailed
+	// records a running job losing a task; EventRetry records its
+	// backoff-delayed recovery attempt (Level carries the attempt number,
+	// Start the scheduled recovery time).
+	EventNodeDown   EventKind = "node-down"
+	EventNodeUp     EventKind = "node-up"
+	EventTaskFailed EventKind = "task-failed"
+	EventRetry      EventKind = "retry"
 )
 
 // Event is one VO occurrence, suitable for JSONL export and offline

@@ -155,6 +155,43 @@ func (c *Counter) Labels() []string {
 	return out
 }
 
+// FaultStats aggregates one run's fault-injection record: how often the
+// environment broke and how the two scheduling levels recovered. The zero
+// value is ready to use; a run without fault injection leaves it zero.
+type FaultStats struct {
+	// NodeOutages and DomainOutages count outage windows that began.
+	NodeOutages   int
+	DomainOutages int
+	// TaskFailures counts mid-run task deaths (including those caused by
+	// a node going down under a running job).
+	TaskFailures int
+	// Retries counts backoff-delayed in-domain recovery attempts.
+	Retries int
+	// Recoveries counts jobs that completed despite at least one failure.
+	Recoveries int
+	// Downtime collects per-job downtime: model time between a failure
+	// and the next successful (re)activation, summed per job.
+	Downtime Series
+}
+
+// Merge adds other's tallies into f.
+func (f *FaultStats) Merge(other *FaultStats) {
+	f.NodeOutages += other.NodeOutages
+	f.DomainOutages += other.DomainOutages
+	f.TaskFailures += other.TaskFailures
+	f.Retries += other.Retries
+	f.Recoveries += other.Recoveries
+	for _, v := range other.Downtime.values {
+		f.Downtime.Add(v)
+	}
+}
+
+// String renders the counters on one line for reports and logs.
+func (f *FaultStats) String() string {
+	return fmt.Sprintf("outages=%d(domain=%d) task-failures=%d retries=%d recoveries=%d mean-downtime=%.1f",
+		f.NodeOutages, f.DomainOutages, f.TaskFailures, f.Retries, f.Recoveries, f.Downtime.Mean())
+}
+
 // Normalize scales the values so the maximum becomes 1 — the paper's
 // "relative" presentation in Fig. 4(b,c). An all-zero input is returned
 // unchanged.

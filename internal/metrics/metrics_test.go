@@ -168,3 +168,26 @@ func TestQuickNormalizeMaxIsOne(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFaultStatsMergeAndString(t *testing.T) {
+	a := &FaultStats{NodeOutages: 2, DomainOutages: 1, TaskFailures: 3, Retries: 4, Recoveries: 2}
+	a.Downtime.Add(10)
+	b := &FaultStats{NodeOutages: 1, TaskFailures: 1, Retries: 1, Recoveries: 1}
+	b.Downtime.Add(30)
+	a.Merge(b)
+	if a.NodeOutages != 3 || a.DomainOutages != 1 || a.TaskFailures != 4 ||
+		a.Retries != 5 || a.Recoveries != 3 {
+		t.Errorf("merged stats = %+v", a)
+	}
+	if a.Downtime.Count() != 2 || a.Downtime.Mean() != 20 {
+		t.Errorf("merged downtime: count=%d mean=%v", a.Downtime.Count(), a.Downtime.Mean())
+	}
+	want := "outages=3(domain=1) task-failures=4 retries=5 recoveries=3 mean-downtime=20.0"
+	if got := a.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var zero FaultStats
+	if got := zero.String(); got != "outages=0(domain=0) task-failures=0 retries=0 recoveries=0 mean-downtime=0.0" {
+		t.Errorf("zero String() = %q", got)
+	}
+}

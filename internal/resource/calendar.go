@@ -1,6 +1,7 @@
 package resource
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,10 @@ type Calendar struct {
 
 // NewCalendar returns an empty calendar.
 func NewCalendar() *Calendar { return &Calendar{} }
+
+// ErrEmptyInterval reports a reservation attempt with an empty window.
+// Callers use errors.Is to distinguish it from a *ErrConflict overlap.
+var ErrEmptyInterval = errors.New("resource: empty reservation interval")
 
 // ErrConflict reports a reservation attempt that overlaps an existing one.
 type ErrConflict struct {
@@ -93,7 +98,7 @@ func (c *Calendar) Free(iv simtime.Interval) bool {
 // overlaps an existing reservation, leaving the calendar unchanged.
 func (c *Calendar) Reserve(iv simtime.Interval, owner Owner) error {
 	if iv.Empty() {
-		return fmt.Errorf("resource: empty reservation %v", iv)
+		return fmt.Errorf("%w: %v", ErrEmptyInterval, iv)
 	}
 	if existing, busy := c.ConflictWith(iv); busy {
 		return &ErrConflict{Wanted: iv, Existing: existing}
@@ -213,6 +218,15 @@ func (c *Calendar) PruneBefore(t simtime.Time) int {
 	}
 	c.res = kept
 	return removed
+}
+
+// Void removes every reservation and returns them in start order — the
+// node's local batch system losing its book when the node crashes. The
+// caller decides each voided owner's fate (evict, retry, drop).
+func (c *Calendar) Void() []Reservation {
+	out := c.res
+	c.res = nil
+	return out
 }
 
 // Clone returns a deep copy of the calendar, used for what-if scheduling

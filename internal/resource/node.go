@@ -94,6 +94,14 @@ type Node struct {
 	Domain string
 
 	cal *Calendar
+
+	// Fault-injection state. downDepth counts nested outage causes (an
+	// individual node crash and a whole-domain outage may overlap); the
+	// node is up iff the depth is zero.
+	downDepth int
+	downSince simtime.Time
+	downtime  simtime.Time
+	outages   []simtime.Interval
 }
 
 // NewNode creates a node with an empty calendar. Perf must lie in (0, 1].
@@ -112,6 +120,68 @@ func (n *Node) Tier() Tier { return TierOf(n.Perf) }
 
 // Calendar returns the node's reservation calendar.
 func (n *Node) Calendar() *Calendar { return n.cal }
+
+// Up reports whether the node is currently available. A fresh node is up.
+func (n *Node) Up() bool { return n.downDepth == 0 }
+
+// MarkDown records an outage cause starting at now. Outage causes nest:
+// a node inside a domain-wide outage that also crashed individually only
+// comes back up once both causes have been marked up. It reports whether
+// this call transitioned the node from up to down.
+func (n *Node) MarkDown(now simtime.Time) bool {
+	n.downDepth++
+	if n.downDepth == 1 {
+		n.downSince = now
+		return true
+	}
+	return false
+}
+
+// MarkUp removes one outage cause at now, reporting whether the node
+// transitioned back to up. Calling MarkUp on an up node panics: it always
+// indicates an unbalanced fault schedule.
+func (n *Node) MarkUp(now simtime.Time) bool {
+	if n.downDepth == 0 {
+		panic(fmt.Sprintf("resource: MarkUp on up node %q", n.Name))
+	}
+	n.downDepth--
+	if n.downDepth == 0 {
+		n.downtime += now - n.downSince
+		n.outages = append(n.outages, simtime.Interval{Start: n.downSince, End: now})
+		return true
+	}
+	return false
+}
+
+// Downtime returns the cumulative model time the node has spent down, the
+// open outage (if any) counted up to now.
+func (n *Node) Downtime(now simtime.Time) simtime.Time {
+	d := n.downtime
+	if n.downDepth > 0 && now > n.downSince {
+		d += now - n.downSince
+	}
+	return d
+}
+
+// Outages returns the closed outage windows recorded so far, in order.
+func (n *Node) Outages() []simtime.Interval {
+	return append([]simtime.Interval(nil), n.outages...)
+}
+
+// AvailableIn reports whether the node is up and no recorded outage
+// overlaps iv — the availability-window check placement uses before
+// trusting a reservation on this node.
+func (n *Node) AvailableIn(iv simtime.Interval) bool {
+	if n.downDepth > 0 {
+		return false
+	}
+	for _, o := range n.outages {
+		if o.Overlaps(iv) {
+			return false
+		}
+	}
+	return true
+}
 
 // ExecTime converts a type-1 base estimate into this node's execution time:
 // ceil(base / Perf), at least 1 tick for positive base times.
@@ -205,9 +275,35 @@ func (e *Environment) FastestFirst() []NodeID {
 	return ids
 }
 
-// Reset clears every node calendar (between experiment repetitions).
+// UpNodes returns the currently available nodes, in ID order.
+func (e *Environment) UpNodes() []*Node {
+	var out []*Node
+	for _, n := range e.nodes {
+		if n.Up() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DomainUp reports whether at least one node of the domain is available.
+func (e *Environment) DomainUp(domain string) bool {
+	for _, n := range e.nodes {
+		if n.Domain == domain && n.Up() {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears every node calendar and fault state (between experiment
+// repetitions).
 func (e *Environment) Reset() {
 	for _, n := range e.nodes {
 		n.cal = NewCalendar()
+		n.downDepth = 0
+		n.downSince = 0
+		n.downtime = 0
+		n.outages = nil
 	}
 }
