@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"flag"
 	"testing"
 
 	"repro/internal/baseline"
@@ -17,11 +18,30 @@ import (
 	"repro/internal/workload"
 )
 
+// benchWorkers sizes the worker pool inside the experiment benchmarks;
+// 1 forces the sequential path, <1 means one worker per CPU. The CI
+// bench-regression job runs the suite at both settings and compares.
+var benchWorkers = flag.Int("workers", 1, "worker pool size for the experiment benchmarks (1 = sequential)")
+
+// benchFig3 is DefaultFig3 with the -workers flag applied.
+func benchFig3(seed uint64, jobs int) experiments.Fig3Config {
+	cfg := experiments.DefaultFig3(seed, jobs)
+	cfg.Workers = *benchWorkers
+	return cfg
+}
+
+// benchFig4 is DefaultFig4 with the -workers flag applied.
+func benchFig4(seed uint64, jobs int) experiments.Fig4Config {
+	cfg := experiments.DefaultFig4(seed, jobs)
+	cfg.Workers = *benchWorkers
+	return cfg
+}
+
 // BenchmarkFig2Strategy regenerates the §3 worked example (E1).
 func BenchmarkFig2Strategy(b *testing.B) {
 	var cheapest float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2()
+		r, err := experiments.Fig2With(*benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -35,7 +55,7 @@ func BenchmarkFig2Strategy(b *testing.B) {
 func BenchmarkFig3aAdmissibility(b *testing.B) {
 	var s1, s2, s3 float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3a(experiments.DefaultFig3(1, 60))
+		r, err := experiments.Fig3a(benchFig3(1, 60))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -51,7 +71,7 @@ func BenchmarkFig3aAdmissibility(b *testing.B) {
 func BenchmarkFig3bCollisions(b *testing.B) {
 	var f1, f2, f3 float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig3b(experiments.DefaultFig3(1, 60))
+		r, err := experiments.Fig3b(benchFig3(1, 60))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +86,7 @@ func BenchmarkFig3bCollisions(b *testing.B) {
 func BenchmarkFig4aLoad(b *testing.B) {
 	var s1slow, s3fast float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4a(experiments.DefaultFig4(1, 60))
+		r, err := experiments.Fig4a(benchFig4(1, 60))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,7 +100,7 @@ func BenchmarkFig4aLoad(b *testing.B) {
 func BenchmarkFig4bCostTime(b *testing.B) {
 	var costS3, taskS3 float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4b(experiments.DefaultFig4(1, 60))
+		r, err := experiments.Fig4b(benchFig4(1, 60))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +114,7 @@ func BenchmarkFig4bCostTime(b *testing.B) {
 func BenchmarkFig4cTTL(b *testing.B) {
 	var ttlS3, devMS1 float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig4c(experiments.DefaultFig4(1, 60))
+		r, err := experiments.Fig4c(benchFig4(1, 60))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +143,7 @@ func BenchmarkPolicyWaitTimes(b *testing.B) {
 func BenchmarkAblationCollision(b *testing.B) {
 	var realloc, delay float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationCollision(experiments.DefaultFig3(1, 40))
+		r, err := experiments.AblationCollision(benchFig3(1, 40))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +158,9 @@ func BenchmarkAblationCollision(b *testing.B) {
 func BenchmarkAblationLevels(b *testing.B) {
 	var s1, ms1 float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.AblationLevels(experiments.DefaultAblationLevels(1, 40))
+		cfg := experiments.DefaultAblationLevels(1, 40)
+		cfg.Workers = *benchWorkers
+		r, err := experiments.AblationLevels(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +173,7 @@ func BenchmarkAblationLevels(b *testing.B) {
 func BenchmarkComparison(b *testing.B) {
 	var cwCost, mmCost float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Comparison(experiments.DefaultFig3(1, 40))
+		r, err := experiments.Comparison(benchFig3(1, 40))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +200,7 @@ func BenchmarkBaselineMinMin(b *testing.B) {
 func BenchmarkLocalPassing(b *testing.B) {
 	var queued float64
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.LocalPassing(experiments.DefaultFig4(1, 60))
+		r, err := experiments.LocalPassing(benchFig4(1, 60))
 		if err != nil {
 			b.Fatal(err)
 		}

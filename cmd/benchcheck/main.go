@@ -1,0 +1,132 @@
+// Command benchcheck compares a sequential and a parallel run of the
+// Fig. 3 corpus benchmark and fails when parallelism stopped paying for
+// itself. The CI bench-regression job runs the benchmark twice —
+// `-args -workers=1` and `-args -workers=N` — feeds both outputs here,
+// and archives the resulting BENCH_parallel.json.
+//
+// Usage:
+//
+//	benchcheck -seq seq.txt -par par.txt [-bench BenchmarkFig3aAdmissibility] [-out BENCH_parallel.json] [-min-speedup 1.0]
+//
+// Each input is the plain `go test -bench` output. When a benchmark was
+// run with -count > 1 the best (minimum) ns/op is used for both sides, so
+// scheduler noise on small CI runners cannot fail the gate spuriously.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is the record written to the JSON artifact.
+type result struct {
+	Benchmark    string  `json:"benchmark"`
+	SequentialNs float64 `json:"sequential_ns"`
+	ParallelNs   float64 `json:"parallel_ns"`
+	Speedup      float64 `json:"speedup"`
+	MinSpeedup   float64 `json:"min_speedup"`
+	Pass         bool    `json:"pass"`
+}
+
+func main() {
+	var (
+		seqPath    = flag.String("seq", "", "benchmark output of the sequential (-workers=1) run")
+		parPath    = flag.String("par", "", "benchmark output of the parallel run")
+		bench      = flag.String("bench", "BenchmarkFig3aAdmissibility", "benchmark name to compare")
+		outPath    = flag.String("out", "BENCH_parallel.json", "where to write the comparison record")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "fail unless sequential_ns/parallel_ns exceeds this")
+	)
+	flag.Parse()
+	if *seqPath == "" || *parPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -seq and -par are required")
+		os.Exit(2)
+	}
+
+	seqNs, err := bestNsPerOp(*seqPath, *bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	parNs, err := bestNsPerOp(*parPath, *bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	r := result{
+		Benchmark:    *bench,
+		SequentialNs: seqNs,
+		ParallelNs:   parNs,
+		Speedup:      seqNs / parNs,
+		MinSpeedup:   *minSpeedup,
+	}
+	r.Pass = r.Speedup > r.MinSpeedup
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s: sequential %.0f ns/op, parallel %.0f ns/op, speedup %.2fx (need > %.2fx)\n",
+		r.Benchmark, r.SequentialNs, r.ParallelNs, r.Speedup, r.MinSpeedup)
+	if !r.Pass {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAIL — the parallel run is not faster than the sequential one")
+		os.Exit(1)
+	}
+}
+
+// bestNsPerOp scans `go test -bench` output for the named benchmark and
+// returns the smallest ns/op across its lines (repeated runs via -count
+// produce one line each).
+func bestNsPerOp(path, bench string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	best := 0.0
+	found := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Layout: BenchmarkName-P  iterations  value ns/op  [more metrics...]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if name != bench && !strings.HasPrefix(name, bench+"-") {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("%s: bad ns/op value %q: %v", path, fields[i], err)
+			}
+			if !found || v < best {
+				best = v
+			}
+			found = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("%s: no %s ns/op line found", path, bench)
+	}
+	return best, nil
+}

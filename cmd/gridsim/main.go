@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -21,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id (comma-separated), or all; see -list")
-		jobs = flag.Int("jobs", 1000, "corpus size for the statistical experiments (the paper used >12000 for fig3)")
-		seed = flag.Uint64("seed", 1, "deterministic seed")
-		list = flag.Bool("list", false, "list the experiment ids and what they regenerate")
+		exp     = flag.String("exp", "all", "experiment id (comma-separated), or all; see -list")
+		jobs    = flag.Int("jobs", 1000, "corpus size for the statistical experiments (the paper used >12000 for fig3)")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for independent units (1 forces the sequential path; results are byte-identical at any value)")
+		list    = flag.Bool("list", false, "list the experiment ids and what they regenerate")
 
 		// Fault-injection knobs for the availability sweep (E12).
 		mtbf       = flag.Float64("mtbf", 0, "mean time between node failures; overrides the sweep's availability levels when set (requires -mttr)")
@@ -55,43 +57,58 @@ func main() {
 		return
 	}
 
+	fig3Cfg := func(jobs int) experiments.Fig3Config {
+		cfg := experiments.DefaultFig3(*seed, jobs)
+		cfg.Workers = *workers
+		return cfg
+	}
+	fig4Cfg := func() experiments.Fig4Config {
+		cfg := experiments.DefaultFig4(*seed, fig4Scale(*jobs))
+		cfg.Workers = *workers
+		return cfg
+	}
 	runners := map[string]func() (*experiments.Report, error){
-		"fig2": experiments.Fig2,
+		"fig2": func() (*experiments.Report, error) {
+			return experiments.Fig2With(*workers)
+		},
 		"fig3a": func() (*experiments.Report, error) {
-			return experiments.Fig3a(experiments.DefaultFig3(*seed, *jobs))
+			return experiments.Fig3a(fig3Cfg(*jobs))
 		},
 		"fig3b": func() (*experiments.Report, error) {
-			return experiments.Fig3b(experiments.DefaultFig3(*seed, *jobs))
+			return experiments.Fig3b(fig3Cfg(*jobs))
 		},
 		"fig4a": func() (*experiments.Report, error) {
-			return experiments.Fig4a(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+			return experiments.Fig4a(fig4Cfg())
 		},
 		"fig4b": func() (*experiments.Report, error) {
-			return experiments.Fig4b(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+			return experiments.Fig4b(fig4Cfg())
 		},
 		"fig4c": func() (*experiments.Report, error) {
-			return experiments.Fig4c(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+			return experiments.Fig4c(fig4Cfg())
 		},
 		"policies": func() (*experiments.Report, error) {
 			return experiments.Policies(experiments.DefaultPolicies(*seed, *jobs))
 		},
 		"ablation-collision": func() (*experiments.Report, error) {
-			return experiments.AblationCollision(experiments.DefaultFig3(*seed, ablationScale(*jobs)))
+			return experiments.AblationCollision(fig3Cfg(ablationScale(*jobs)))
 		},
 		"ablation-levels": func() (*experiments.Report, error) {
-			return experiments.AblationLevels(experiments.DefaultAblationLevels(*seed, ablationScale(*jobs)))
+			cfg := experiments.DefaultAblationLevels(*seed, ablationScale(*jobs))
+			cfg.Workers = *workers
+			return experiments.AblationLevels(cfg)
 		},
 		"comparison": func() (*experiments.Report, error) {
-			return experiments.Comparison(experiments.DefaultFig3(*seed, ablationScale(*jobs)))
+			return experiments.Comparison(fig3Cfg(ablationScale(*jobs)))
 		},
 		"local-passing": func() (*experiments.Report, error) {
-			return experiments.LocalPassing(experiments.DefaultFig4(*seed, fig4Scale(*jobs)))
+			return experiments.LocalPassing(fig4Cfg())
 		},
 		"availability": func() (*experiments.Report, error) {
 			cfg := experiments.DefaultAvailability(*seed, availabilityScale(*jobs))
 			cfg.MTTR = *mttr
 			cfg.TaskFailRate = *taskFail
 			cfg.MaxRetries = *maxRetries
+			cfg.Workers = *workers
 			if *mtbf > 0 {
 				// A fixed MTBF pins the sweep to the baseline plus the one
 				// availability level it implies.

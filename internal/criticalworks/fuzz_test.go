@@ -1,0 +1,232 @@
+package criticalworks
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/resource"
+	"repro/internal/simtime"
+)
+
+// fuzzReader decodes the fuzzer's byte stream into bounded scheduling
+// inputs; exhausted input reads as zero, so every byte slice decodes to
+// some valid (job, environment, calendar) triple.
+type fuzzReader struct {
+	data []byte
+	i    int
+}
+
+func (r *fuzzReader) next() byte {
+	if r.i >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.i]
+	r.i++
+	return b
+}
+
+// fuzzPerfs are the §3 estimation tiers the decoder assigns to nodes.
+var fuzzPerfs = []float64{1.0, 0.5, 0.33, 0.25}
+
+// decodeFuzzInput maps raw bytes to a small DAG (≤ 6 tasks; edges only go
+// from lower to higher task index, so the graph is acyclic by
+// construction), a node set (≤ 4 nodes), pre-existing background
+// reservations, and Build options.
+func decodeFuzzInput(data []byte) (*dag.Job, *resource.Environment, Calendars, Options) {
+	r := &fuzzReader{data: data}
+
+	nt := 1 + int(r.next()%6)
+	b := dag.NewBuilder("fuzz")
+	for i := 0; i < nt; i++ {
+		baseTime := simtime.Time(1 + r.next()%4)
+		volume := int64(10 * (1 + r.next()%4))
+		b.Task(fmt.Sprintf("T%d", i), baseTime, volume)
+	}
+	for i := 0; i < nt; i++ {
+		for j := i + 1; j < nt; j++ {
+			if r.next()%4 != 0 {
+				continue
+			}
+			baseTime := simtime.Time(1 + r.next()%3)
+			b.Edge(fmt.Sprintf("E%d-%d", i, j),
+				fmt.Sprintf("T%d", i), fmt.Sprintf("T%d", j), baseTime, 10)
+		}
+	}
+
+	nn := 1 + int(r.next()%4)
+	deadline := simtime.Time(10 + r.next()%80)
+	release := simtime.Time(r.next() % 6)
+	var objective Objective
+	if r.next()%2 == 1 {
+		objective = MinCost
+	}
+	var mode CollisionMode
+	if r.next()%2 == 1 {
+		mode = ResolveDelay
+	}
+
+	b.Deadline(deadline)
+	job := b.MustBuild()
+
+	nodes := make([]*resource.Node, nn)
+	for i := 0; i < nn; i++ {
+		p := fuzzPerfs[i%len(fuzzPerfs)]
+		nodes[i] = resource.NewNode(resource.NodeID(i), fmt.Sprintf("node-%d", i+1), p, p, "fuzz")
+	}
+	env := resource.NewEnvironment(nodes)
+
+	cals := EmptyCalendars(env)
+	for i := 0; i < nn; i++ {
+		k := int(r.next() % 3)
+		for q := 0; q < k; q++ {
+			start := simtime.Time(r.next() % 40)
+			dur := simtime.Time(1 + r.next()%10)
+			// Overlapping background windows are simply skipped; the decoder
+			// never needs to produce an invalid calendar.
+			_ = cals[resource.NodeID(i)].Reserve(
+				simtime.Interval{Start: start, End: start + dur},
+				resource.Owner{Job: "external", Task: fmt.Sprintf("bg-%d-%d", i, q)})
+		}
+	}
+
+	return job, env, cals, Options{Release: release, Objective: objective, Mode: mode}
+}
+
+// fig2SeedBytes encodes the paper's Fig. 2 worked example through
+// decodeFuzzInput's layout, seeding the corpus with the one input whose
+// correct behaviour is known exactly.
+func fig2SeedBytes() []byte {
+	var out []byte
+	out = append(out, 5) // 1+5%6 = 6 tasks
+	// (baseTime-1, volume/10-1) per task: T=2,3,1,2,1,2; V=20,30,10,20,10,20.
+	out = append(out, 1, 1, 2, 2, 0, 0, 1, 1, 0, 0, 1, 1)
+	// Edge selector per i<j pair (0 ⇒ edge present, then its baseTime-1 byte;
+	// 1 ⇒ absent). Fig. 2's edges: 01,02,13,14,23,24,35,45, all baseTime 1.
+	out = append(out,
+		0, 0, // 0-1
+		0, 0, // 0-2
+		1, 1, 1, // 0-3, 0-4, 0-5
+		1,    // 1-2
+		0, 0, // 1-3
+		0, 0, // 1-4
+		1,    // 1-5
+		0, 0, // 2-3
+		0, 0, // 2-4
+		1,    // 2-5
+		1,    // 3-4
+		0, 0, // 3-5
+		0, 0, // 4-5
+	)
+	out = append(out, 3)          // 1+3%4 = 4 nodes
+	out = append(out, 10)         // deadline 10+10 = 20
+	out = append(out, 0)          // release 0
+	out = append(out, 0, 0)       // MinFinish, ResolveReallocate
+	out = append(out, 0, 0, 0, 0) // no background reservations
+	return out
+}
+
+// FuzzBuildSchedule drives the critical works method over random small
+// DAGs and calendars and checks the safety invariants every Distribution
+// must satisfy — including partial (abandoned) ones:
+//
+//   - no task starts before the release time, and none is reserved beyond
+//     the search horizon;
+//   - no node slot is double-booked, neither between tasks nor against the
+//     pre-existing background reservations;
+//   - DAG precedence holds: a successor never starts before its
+//     predecessor's reservation ends;
+//   - a schedule claiming MeetsDeadline actually finishes by the deadline.
+func FuzzBuildSchedule(f *testing.F) {
+	f.Add(fig2SeedBytes())
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{2, 3, 3, 0, 0, 0, 1, 0, 1, 20, 2, 1, 1, 2, 1, 5, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		job, env, cals, opt := decodeFuzzInput(data)
+
+		// The background load, recorded before Build mutates the view.
+		background := make(map[resource.NodeID][]simtime.Interval)
+		for id, c := range cals {
+			for _, res := range c.Reservations() {
+				background[id] = append(background[id], res.Interval)
+			}
+		}
+
+		s, err := Build(env, cals, job, opt)
+		if err != nil {
+			var inf *InfeasibleError
+			if !errors.As(err, &inf) {
+				t.Fatalf("Build returned a non-infeasibility error: %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("Build returned nil schedule and nil error")
+		}
+
+		deadline := job.Deadline
+		overlaps := func(a, b simtime.Interval) bool {
+			return a.Start < b.End && b.Start < a.End
+		}
+
+		byNode := make(map[resource.NodeID][]Placement)
+		for id, p := range s.Placements {
+			if p.Task != id {
+				t.Errorf("placement keyed %d names task %d", id, p.Task)
+			}
+			if p.Window.Start < opt.Release {
+				t.Errorf("task %d starts at %d before release %d", id, p.Window.Start, opt.Release)
+			}
+			if p.Window.End <= p.Window.Start {
+				t.Errorf("task %d has empty window %v", id, p.Window)
+			}
+			byNode[p.Node] = append(byNode[p.Node], p)
+		}
+
+		for node, ps := range byNode {
+			for i := 0; i < len(ps); i++ {
+				for j := i + 1; j < len(ps); j++ {
+					if overlaps(ps[i].Window, ps[j].Window) {
+						t.Errorf("node %d double-booked: task %d %v vs task %d %v",
+							node, ps[i].Task, ps[i].Window, ps[j].Task, ps[j].Window)
+					}
+				}
+				for _, bg := range background[node] {
+					if overlaps(ps[i].Window, bg) {
+						t.Errorf("node %d: task %d %v overlaps background reservation %v",
+							node, ps[i].Task, ps[i].Window, bg)
+					}
+				}
+			}
+		}
+
+		for _, e := range job.Edges() {
+			from, okF := s.Placements[e.From]
+			to, okT := s.Placements[e.To]
+			if !okF || !okT {
+				continue // partial schedules may have placed only one end
+			}
+			if to.Window.Start < from.Window.End {
+				t.Errorf("precedence violated: edge %s→%s but successor starts %d before predecessor ends %d",
+					job.Task(e.From).Name, job.Task(e.To).Name, to.Window.Start, from.Window.End)
+			}
+		}
+
+		if !s.Partial {
+			if len(s.Placements) != job.NumTasks() {
+				t.Errorf("complete schedule placed %d of %d tasks", len(s.Placements), job.NumTasks())
+			}
+			for _, p := range s.Placements {
+				if p.Window.End > s.Finish {
+					t.Errorf("task %d ends at %d after schedule finish %d", p.Task, p.Window.End, s.Finish)
+				}
+			}
+			if s.MeetsDeadline() && s.Finish > deadline {
+				t.Errorf("MeetsDeadline but finish %d > deadline %d", s.Finish, deadline)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/criticalworks"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/strategy"
 	"repro/internal/workload"
 )
@@ -25,30 +26,50 @@ func AblationCollision(cfg Fig3Config) (*Report, error) {
 		finish     metrics.Series
 		cost       metrics.Series
 	}
-	run := func(mode criticalworks.CollisionMode) *stats {
+	// Each job is an independent unit; the per-job outcomes are merged into
+	// the Series in job order so the float accumulation (and therefore the
+	// report bytes) is identical at any worker count.
+	type jobOutcome struct {
+		admissible bool
+		finish     int64
+		cost       int64
+	}
+	run := func(mode criticalworks.CollisionMode) (*stats, error) {
 		sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost, Mode: mode}
-		bg := fig3Background(cfg)
-		st := &stats{}
-		for i := 0; i < cfg.Jobs; i++ {
+		streams := fig3Background(cfg).SplitN(cfg.Jobs)
+		outs, err := parallel.Map(cfg.Workers, cfg.Jobs, func(i int) (jobOutcome, error) {
 			job := gen.Job(i)
-			cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
+			cals := loadedCalendars(env, streams[i], cfg)
 			s, err := sgen.Generate(job, strategy.S2, cals, 0)
-			if err != nil {
-				continue
+			if err != nil || !s.Admissible() {
+				return jobOutcome{}, nil
 			}
-			if !s.Admissible() {
+			d := s.CheapestAdmissible()
+			return jobOutcome{admissible: true, finish: int64(d.Finish), cost: d.BareCF}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := &stats{}
+		for _, o := range outs {
+			if !o.admissible {
 				continue
 			}
 			st.admissible++
-			d := s.CheapestAdmissible()
-			st.finish.AddInt(int64(d.Finish))
-			st.cost.AddInt(d.BareCF)
+			st.finish.AddInt(o.finish)
+			st.cost.AddInt(o.cost)
 		}
-		return st
+		return st, nil
 	}
 
-	realloc := run(criticalworks.ResolveReallocate)
-	delay := run(criticalworks.ResolveDelay)
+	realloc, err := run(criticalworks.ResolveReallocate)
+	if err != nil {
+		return nil, err
+	}
+	delay, err := run(criticalworks.ResolveDelay)
+	if err != nil {
+		return nil, err
+	}
 	r.addLine("%-22s %12s %12s %10s", "mode", "admissible", "mean-finish", "mean-CF")
 	for _, row := range []struct {
 		name string
@@ -90,26 +111,44 @@ func AblationLevels(cfg Fig3Config) (*Report, error) {
 		evaluations int64
 		dists       int
 	}
-	out := map[strategy.Type]*stats{strategy.S1: {}, strategy.MS1: {}}
-	bg := fig3Background(cfg)
-	for i := 0; i < cfg.Jobs; i++ {
+	ablationTypes := []strategy.Type{strategy.S1, strategy.MS1}
+	type jobOutcome struct {
+		admissible  [2]bool
+		evaluations [2]int64
+		dists       [2]int
+	}
+	streams := fig3Background(cfg).SplitN(cfg.Jobs)
+	outs, err := parallel.Map(cfg.Workers, cfg.Jobs, func(i int) (jobOutcome, error) {
+		var o jobOutcome
 		job := gen.Job(i)
-		cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
-		for _, typ := range []strategy.Type{strategy.S1, strategy.MS1} {
+		cals := loadedCalendars(env, streams[i], cfg)
+		for ti, typ := range ablationTypes {
 			s, err := sgen.Generate(job, typ, cals, 0)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation-levels job %d: %w", i, err)
+				return o, fmt.Errorf("experiments: ablation-levels job %d: %w", i, err)
 			}
-			st := out[typ]
-			if s.Admissible() {
-				st.admissible++
-			}
-			st.evaluations += s.Evaluations
+			o.admissible[ti] = s.Admissible()
+			o.evaluations[ti] = s.Evaluations
 			for _, d := range s.Distributions {
 				if d.Admissible {
-					st.dists++
+					o.dists[ti]++
 				}
 			}
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[strategy.Type]*stats{strategy.S1: {}, strategy.MS1: {}}
+	for _, o := range outs {
+		for ti, typ := range ablationTypes {
+			st := out[typ]
+			if o.admissible[ti] {
+				st.admissible++
+			}
+			st.evaluations += o.evaluations[ti]
+			st.dists += o.dists[ti]
 		}
 	}
 	r.addLine("%-6s %12s %16s %18s", "type", "admissible", "DP-evaluations", "admissible-levels")

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 
 	"repro/internal/criticalworks"
 	"repro/internal/faults"
 	"repro/internal/metasched"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/strategy"
 	"repro/internal/workload"
@@ -29,6 +32,15 @@ type AvailabilityConfig struct {
 	// TaskFailRate and MaxRetries tune the mid-run failure ladder.
 	TaskFailRate float64
 	MaxRetries   int
+
+	// Workers bounds the pool running the (family × availability) cells;
+	// ≤ 0 means one worker per CPU, 1 forces the sequential path. Cells
+	// are independent VO runs, so any worker count produces byte-identical
+	// reports and traces.
+	Workers int
+	// Trace, when set, receives every cell's JSONL VO trace, flushed in
+	// cell (row) order after the pool drains.
+	Trace io.Writer
 }
 
 // DefaultAvailability returns the calibrated sweep configuration.
@@ -55,8 +67,8 @@ type availOutcome struct {
 
 // runAvailability executes one VO run with the outage process tuned to
 // the given availability. No background (external) load: the sweep
-// isolates the fault model's effect.
-func runAvailability(cfg AvailabilityConfig, typ strategy.Type, avail float64) (*availOutcome, error) {
+// isolates the fault model's effect. tracer may be nil.
+func runAvailability(cfg AvailabilityConfig, typ strategy.Type, avail float64, tracer metasched.Tracer) (*availOutcome, error) {
 	gen := workload.New(fig4Workload(cfg.Seed))
 	env := gen.Environment(cfg.Domains)
 	engine := sim.New()
@@ -83,6 +95,8 @@ func runAvailability(cfg AvailabilityConfig, typ strategy.Type, avail float64) (
 		Objective: criticalworks.MinCost,
 		Seed:      cfg.Seed,
 		Faults:    fcfg,
+		Workers:   cfg.Workers,
+		Tracer:    tracer,
 	})
 	for _, a := range flow {
 		vo.Submit(a.Job, typ, a.At)
@@ -122,23 +136,48 @@ func Availability(cfg AvailabilityConfig) (*Report, error) {
 		"QoS-miss rate and strategy TTL vs node availability (fault-injection sweep)")
 	r.addLine("%-6s %7s %10s %10s %10s %9s %9s %9s %8s", "type", "avail",
 		"miss-rate", "mean-ttl", "failures", "retries", "fallbk", "realloc", "outages")
+
+	// The sweep grid is one independent VO run per (family, availability)
+	// cell; the cells fan out across the pool and the report rows (and
+	// traces) are emitted in grid order afterwards.
+	type cell struct {
+		typ   strategy.Type
+		avail float64
+	}
+	var grid []cell
 	for _, typ := range types {
 		for _, avail := range cfg.Levels {
-			o, err := runAvailability(cfg, typ, avail)
-			if err != nil {
-				return nil, err
-			}
-			r.addLine("%-6s %7.2f %10s %10.1f %10d %9d %9d %9d %8d",
-				typ, avail, metrics.Ratio(o.missRate), o.meanTTL,
-				o.stats.TaskFailures, o.stats.Retries,
-				o.fallbacks, o.reallocs, o.stats.NodeOutages)
-			key := fmt.Sprintf("%s-%.2f", typ, avail)
-			r.Values["miss-"+key] = o.missRate
-			r.Values["ttl-"+key] = o.meanTTL
-			r.Values["failures-"+key] = float64(o.stats.TaskFailures)
-			r.Values["retries-"+key] = float64(o.stats.Retries)
-			r.Values["reallocs-"+key] = float64(o.reallocs)
+			grid = append(grid, cell{typ: typ, avail: avail})
 		}
+	}
+	traces := make([]bytes.Buffer, len(grid))
+	outs, err := parallel.Map(cfg.Workers, len(grid), func(i int) (*availOutcome, error) {
+		var tracer metasched.Tracer
+		if cfg.Trace != nil {
+			tracer = metasched.NewJSONLTracer(&traces[i])
+		}
+		return runAvailability(cfg, grid[i].typ, grid[i].avail, tracer)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range grid {
+		o := outs[i]
+		if cfg.Trace != nil {
+			if _, err := cfg.Trace.Write(traces[i].Bytes()); err != nil {
+				return nil, fmt.Errorf("experiments: availability trace: %w", err)
+			}
+		}
+		r.addLine("%-6s %7.2f %10s %10.1f %10d %9d %9d %9d %8d",
+			c.typ, c.avail, metrics.Ratio(o.missRate), o.meanTTL,
+			o.stats.TaskFailures, o.stats.Retries,
+			o.fallbacks, o.reallocs, o.stats.NodeOutages)
+		key := fmt.Sprintf("%s-%.2f", c.typ, c.avail)
+		r.Values["miss-"+key] = o.missRate
+		r.Values["ttl-"+key] = o.meanTTL
+		r.Values["failures-"+key] = float64(o.stats.TaskFailures)
+		r.Values["retries-"+key] = float64(o.stats.Retries)
+		r.Values["reallocs-"+key] = float64(o.reallocs)
 	}
 	return r, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/criticalworks"
 	"repro/internal/data"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -31,17 +32,33 @@ func Comparison(cfg Fig3Config) (*Report, error) {
 		out[n] = &comparisonStats{}
 	}
 
-	bg := fig3Background(cfg)
-	for i := 0; i < cfg.Jobs; i++ {
+	// One unit per job: every scheduler runs against a clone of the job's
+	// background snapshot, and the per-scheduler outcomes come back in a
+	// fixed slot order. The merge walks jobs in index order so the Series
+	// accumulation matches the sequential run exactly.
+	type schedOutcome struct {
+		ok     bool
+		finish int64
+		cost   int64
+	}
+	streams := fig3Background(cfg).SplitN(cfg.Jobs)
+	jobOuts, err := parallel.Map(cfg.Workers, cfg.Jobs, func(i int) ([]schedOutcome, error) {
 		job := gen.Job(i)
-		cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
+		cals := loadedCalendars(env, streams[i], cfg)
+		outs := make([]schedOutcome, len(names))
+		record := func(slot int, s *criticalworks.Schedule, ok bool) {
+			if !ok || s == nil {
+				return
+			}
+			outs[slot] = schedOutcome{ok: true, finish: int64(s.Finish), cost: s.BareCF}
+		}
 
 		// The critical works method, remote-access policy (S2's), so the
 		// comparison is free of replication advantages.
 		cw, err := criticalworks.Build(env, cloneCalendarsView(cals), job, criticalworks.Options{
 			Catalog: data.NewCatalog(data.RemoteAccess, 0),
 		})
-		out["critical-works"].record(cw, err == nil && cw != nil && cw.MeetsDeadline())
+		record(0, cw, err == nil && cw != nil && cw.MeetsDeadline())
 		if err != nil {
 			var inf *criticalworks.InfeasibleError
 			if !errors.As(err, &inf) {
@@ -55,7 +72,7 @@ func Comparison(cfg Fig3Config) (*Report, error) {
 			Catalog:   data.NewCatalog(data.RemoteAccess, 0),
 			Objective: criticalworks.MinCost,
 		})
-		out["critical-works-mincost"].record(cwc, err == nil && cwc != nil && cwc.MeetsDeadline())
+		record(1, cwc, err == nil && cwc != nil && cwc.MeetsDeadline())
 		if err != nil {
 			var inf *criticalworks.InfeasibleError
 			if !errors.As(err, &inf) {
@@ -63,17 +80,32 @@ func Comparison(cfg Fig3Config) (*Report, error) {
 			}
 		}
 
-		for _, h := range baseline.Heuristics {
+		for hi, h := range baseline.Heuristics {
 			s, err := baseline.Build(env, cloneCalendarsView(cals), job, h, baseline.Options{
 				Catalog: data.NewCatalog(data.RemoteAccess, 0),
 			})
-			out[h.String()].record(s, err == nil && s.MeetsDeadline())
+			record(2+hi, s, err == nil && s.MeetsDeadline())
 			if err != nil {
 				var inf *baseline.InfeasibleError
 				if !errors.As(err, &inf) {
 					return nil, err
 				}
 			}
+		}
+		return outs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, outs := range jobOuts {
+		for slot, o := range outs {
+			if !o.ok {
+				continue
+			}
+			st := out[names[slot]]
+			st.admissible++
+			st.finish.AddInt(o.finish)
+			st.cost.AddInt(o.cost)
 		}
 	}
 
@@ -94,15 +126,6 @@ type comparisonStats struct {
 	admissible int
 	finish     metrics.Series
 	cost       metrics.Series
-}
-
-func (st *comparisonStats) record(s *criticalworks.Schedule, ok bool) {
-	if !ok || s == nil {
-		return
-	}
-	st.admissible++
-	st.finish.AddInt(int64(s.Finish))
-	st.cost.AddInt(s.BareCF)
 }
 
 func cloneCalendarsView(cals criticalworks.Calendars) criticalworks.Calendars {

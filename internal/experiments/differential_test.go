@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The differential equivalence suite: every experiment that fans out
+// across the worker pool must produce byte-identical reports, identical
+// raw value maps, and byte-identical traces at any worker count. Each
+// case runs once sequentially (workers=1, the pre-pool code path) and
+// once wide (workers=8, oversubscribed on small machines on purpose),
+// across several seeds.
+
+// diffOutcome captures everything an experiment emits.
+type diffOutcome struct {
+	report []byte
+	values map[string]float64
+	trace  []byte
+}
+
+func capture(t *testing.T, r *Report, err error, trace *bytes.Buffer) diffOutcome {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := diffOutcome{report: buf.Bytes(), values: r.Values}
+	if trace != nil {
+		out.trace = trace.Bytes()
+	}
+	return out
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T, seed uint64, workers int) diffOutcome
+	}{
+		{"fig2", func(t *testing.T, seed uint64, workers int) diffOutcome {
+			// Fig2 is seed-free; the seed loop still exercises it so a
+			// regression shows up in every row.
+			r, err := Fig2With(workers)
+			return capture(t, r, err, nil)
+		}},
+		{"fig3a", func(t *testing.T, seed uint64, workers int) diffOutcome {
+			cfg := DefaultFig3(seed, 40)
+			cfg.Workers = workers
+			r, err := Fig3a(cfg)
+			return capture(t, r, err, nil)
+		}},
+		{"fig3b", func(t *testing.T, seed uint64, workers int) diffOutcome {
+			cfg := DefaultFig3(seed, 40)
+			cfg.Workers = workers
+			r, err := Fig3b(cfg)
+			return capture(t, r, err, nil)
+		}},
+		{"fig4", func(t *testing.T, seed uint64, workers int) diffOutcome {
+			var trace bytes.Buffer
+			cfg := DefaultFig4(seed, 25)
+			cfg.Workers = workers
+			cfg.Trace = &trace
+			r, err := Fig4a(cfg)
+			return capture(t, r, err, &trace)
+		}},
+		{"availability", func(t *testing.T, seed uint64, workers int) diffOutcome {
+			var trace bytes.Buffer
+			cfg := DefaultAvailability(seed, 12)
+			cfg.Levels = []float64{1.0, 0.9}
+			cfg.Workers = workers
+			cfg.Trace = &trace
+			r, err := Availability(cfg)
+			return capture(t, r, err, &trace)
+		}},
+	}
+
+	for _, tc := range cases {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				seq := tc.run(t, seed, 1)
+				par := tc.run(t, seed, 8)
+				if !bytes.Equal(seq.report, par.report) {
+					t.Errorf("report bytes differ between workers=1 and workers=8\nsequential:\n%s\nparallel:\n%s",
+						seq.report, par.report)
+				}
+				if !reflect.DeepEqual(seq.values, par.values) {
+					t.Errorf("raw values differ between workers=1 and workers=8:\nsequential: %v\nparallel:   %v",
+						seq.values, par.values)
+				}
+				if !bytes.Equal(seq.trace, par.trace) {
+					t.Errorf("trace bytes differ between workers=1 and workers=8 (%d vs %d bytes)",
+						len(seq.trace), len(par.trace))
+				}
+			})
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/criticalworks"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/resource"
 	"repro/internal/rng"
 	"repro/internal/simtime"
@@ -45,6 +46,12 @@ type Fig3Config struct {
 	// the critical path, forcing S3 onto the fastest nodes.
 	PipelineProb float64
 	MaxPipeline  int
+	// Workers bounds the pool fanning per-job strategy builds across
+	// goroutines; ≤ 0 means one worker per CPU, 1 forces the sequential
+	// path. Every worker count produces byte-identical reports: each job
+	// draws from its own pre-split RNG stream and the per-job tallies are
+	// merged in job order.
+	Workers int
 }
 
 // DefaultFig3 returns the calibrated configuration (see EXPERIMENTS.md for
@@ -128,37 +135,40 @@ func fig3Background(cfg Fig3Config) *rng.Source {
 	return rng.New(cfg.Seed).Split(0xB6)
 }
 
+// fig3JobTally is one job's contribution to the corpus aggregates, indexed
+// by position in fig3Strategies. Units fill tallies independently; the
+// merge walks them in job order, so the aggregates are identical at any
+// worker count.
+type fig3JobTally struct {
+	admissible [3]bool
+	fast, slow [3]int
+}
+
 // runFig3 generates each job's strategy for every family against identical
 // background snapshots and tallies admissibility and collision placement.
+// The per-job builds fan out across cfg.Workers goroutines: each job's
+// background snapshot comes from its own pre-split RNG stream, and the
+// tallies are merged in job order after the pool drains.
 func runFig3(cfg Fig3Config) (*fig3Run, error) {
 	gen := workload.New(fig3WorkloadConfig(cfg))
 	env := gen.Environment(1)
-	bg := fig3Background(cfg)
+	streams := fig3Background(cfg).SplitN(cfg.Jobs)
 
-	run := &fig3Run{
-		admissible: make(map[strategy.Type]int),
-		collisions: make(map[strategy.Type]*metrics.Counter),
-		total:      cfg.Jobs,
-	}
-	for _, typ := range fig3Strategies {
-		run.collisions[typ] = metrics.NewCounter()
-	}
 	// MinCost reproduces the paper's economics: strategies drift to the
 	// cheapest (slowest) nodes their deadline and data policy allow, which
 	// is what shapes both the admissibility rates and the collision split.
 	sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost}
 
-	for i := 0; i < cfg.Jobs; i++ {
+	tallies, err := parallel.Map(cfg.Workers, cfg.Jobs, func(i int) (fig3JobTally, error) {
+		var tally fig3JobTally
 		job := gen.Job(i)
-		cals := loadedCalendars(env, bg.Split(uint64(i)), cfg)
-		for _, typ := range fig3Strategies {
+		cals := loadedCalendars(env, streams[i], cfg)
+		for ti, typ := range fig3Strategies {
 			st, err := sgen.Generate(job, typ, cals, 0)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig3 job %d type %v: %w", i, typ, err)
+				return tally, fmt.Errorf("experiments: fig3 job %d type %v: %w", i, typ, err)
 			}
-			if st.Admissible() {
-				run.admissible[typ]++
-			}
+			tally.admissible[ti] = st.Admissible()
 			// Fig. 3b counts the conflicts of the supporting schedules the
 			// strategy actually consists of — the admissible distributions
 			// (attempts at levels that end up infeasible are not part of
@@ -169,13 +179,35 @@ func runFig3(cfg Fig3Config) (*fig3Run, error) {
 					continue
 				}
 				for _, c := range d.Schedule.Collisions {
-					label := "slow"
 					if env.Node(c.Node).Group() == resource.GroupFast {
-						label = "fast"
+						tally.fast[ti]++
+					} else {
+						tally.slow[ti]++
 					}
-					run.collisions[typ].Inc(label, 1)
 				}
 			}
+		}
+		return tally, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	run := &fig3Run{
+		admissible: make(map[strategy.Type]int),
+		collisions: make(map[strategy.Type]*metrics.Counter),
+		total:      cfg.Jobs,
+	}
+	for _, typ := range fig3Strategies {
+		run.collisions[typ] = metrics.NewCounter()
+	}
+	for _, tally := range tallies {
+		for ti, typ := range fig3Strategies {
+			if tally.admissible[ti] {
+				run.admissible[typ]++
+			}
+			run.collisions[typ].Inc("fast", tally.fast[ti])
+			run.collisions[typ].Inc("slow", tally.slow[ti])
 		}
 	}
 	return run, nil

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 
 	"repro/internal/criticalworks"
 	"repro/internal/metasched"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/resource"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -26,6 +29,18 @@ type Fig4Config struct {
 	ExternalLead                 simtime.Time
 	ExternalDurLo, ExternalDurHi simtime.Time
 	ExternalUntil                simtime.Time
+
+	// Workers bounds the pool running the per-family VO cells (and, inside
+	// each cell, the per-level strategy builds); ≤ 0 means one worker per
+	// CPU, 1 forces the sequential path. Each cell owns its engine,
+	// environment and calendars, so any worker count produces byte-identical
+	// reports and traces.
+	Workers int
+	// Trace, when set, receives every cell's JSONL VO trace. Cells write
+	// into private buffers while running; the buffers are flushed to Trace
+	// in cell order after the pool drains, so the stream is identical at
+	// any worker count.
+	Trace io.Writer
 }
 
 // DefaultFig4 returns the calibrated configuration.
@@ -75,8 +90,8 @@ func fig4Workload(seed uint64) workload.Config {
 }
 
 // runFig4Type runs the full hierarchy (metascheduler → job managers →
-// local calendars) for one strategy family.
-func runFig4Type(cfg Fig4Config, typ strategy.Type) (*fig4Outcome, error) {
+// local calendars) for one strategy family. tracer may be nil.
+func runFig4Type(cfg Fig4Config, typ strategy.Type, tracer metasched.Tracer) (*fig4Outcome, error) {
 	gen := workload.New(fig4Workload(cfg.Seed))
 	env := gen.Environment(cfg.Domains)
 	engine := sim.New()
@@ -94,6 +109,8 @@ func runFig4Type(cfg Fig4Config, typ strategy.Type) (*fig4Outcome, error) {
 		ExternalUntil:   until,
 		Objective:       criticalworks.MinCost,
 		Seed:            cfg.Seed,
+		Workers:         cfg.Workers,
+		Tracer:          tracer,
 	})
 	for _, a := range flow {
 		vo.Submit(a.Job, typ, a.At)
@@ -132,15 +149,31 @@ func runFig4Type(cfg Fig4Config, typ strategy.Type) (*fig4Outcome, error) {
 	return out, nil
 }
 
-// runFig4 executes one VO run per family.
+// runFig4 executes one VO run per family. The families are independent
+// cells (each owns its engine, environment and calendars), so they fan out
+// across the pool; traces buffer per cell and flush in family order.
 func runFig4(cfg Fig4Config, types []strategy.Type) (map[strategy.Type]*fig4Outcome, error) {
-	out := make(map[strategy.Type]*fig4Outcome, len(types))
-	for _, typ := range types {
-		o, err := runFig4Type(cfg, typ)
-		if err != nil {
-			return nil, err
+	traces := make([]bytes.Buffer, len(types))
+	outs, err := parallel.Map(cfg.Workers, len(types), func(i int) (*fig4Outcome, error) {
+		var tracer metasched.Tracer
+		if cfg.Trace != nil {
+			tracer = metasched.NewJSONLTracer(&traces[i])
 		}
-		out[typ] = o
+		return runFig4Type(cfg, types[i], tracer)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Trace != nil {
+		for i := range traces {
+			if _, err := cfg.Trace.Write(traces[i].Bytes()); err != nil {
+				return nil, fmt.Errorf("experiments: fig4 trace: %w", err)
+			}
+		}
+	}
+	out := make(map[strategy.Type]*fig4Outcome, len(types))
+	for i, typ := range types {
+		out[typ] = outs[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/criticalworks"
+	"repro/internal/metasched"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden files under testdata/")
+
+// compareGolden checks got against the named golden file byte for byte;
+// with -update it regenerates the file instead.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestFig2Golden -update` to create it): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Report the first differing line so the mismatch is readable.
+	gotLines, wantLines := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w []byte
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if !bytes.Equal(g, w) {
+			t.Fatalf("%s differs at line %d:\n  got:  %s\n  want: %s\n(%d vs %d bytes total; -update regenerates)",
+				path, i+1, g, w, len(got), len(want))
+		}
+	}
+	t.Fatalf("%s differs (%d vs %d bytes)", path, len(got), len(want))
+}
+
+// fig2TraceRun replays the §3 worked example through the full VO
+// hierarchy with a JSONL tracer attached and returns the trace bytes.
+// The deadline is relaxed to 24 as in Fig2With, so the strategy holds
+// more than one admissible supporting schedule.
+func fig2TraceRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	var trace bytes.Buffer
+	engine := sim.New()
+	env := Fig2Env()
+	vo := metasched.NewVO(engine, env, metasched.Config{
+		Objective: criticalworks.MinCost,
+		Seed:      1,
+		Workers:   workers,
+		Tracer:    metasched.NewJSONLTracer(&trace),
+	})
+	vo.Submit(Fig2Job().WithDeadline(24), strategy.S2, 0)
+	engine.Run()
+	results := vo.Results()
+	if len(results) != 1 {
+		t.Fatalf("fig2 VO run produced %d results, want 1", len(results))
+	}
+	if results[0].State != metasched.StateCompleted {
+		t.Fatalf("fig2 VO run ended in state %v, want completed", results[0].State)
+	}
+	return trace.Bytes()
+}
+
+// TestFig2Golden pins the §3 worked example byte for byte: the printed
+// Distribution table and the full JSONL event trace of a VO run over the
+// same job. Any change to the scheduling pipeline that moves a single
+// reservation, collision, or trace field shows up here as a one-line
+// diff. Regenerate with -update after intentional changes.
+func TestFig2Golden(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			r, err := Fig2With(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var report bytes.Buffer
+			if _, err := r.WriteTo(&report); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, "fig2_report.golden", report.Bytes())
+			compareGolden(t, "fig2_trace.golden", fig2TraceRun(t, workers))
+		})
+	}
+}

@@ -40,6 +40,7 @@ func LocalPassing(cfg Fig4Config) (*Report, error) {
 	vo := metasched.NewVO(engine, env, metasched.Config{
 		Objective: criticalworks.MinCost,
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
 	})
 	flow := gen.Flow(0, cfg.Jobs, 0)
 	for _, a := range flow {

@@ -86,6 +86,14 @@ type Config struct {
 	// Seed drives the injector's randomness.
 	Seed uint64
 
+	// Workers bounds the concurrent per-level builds inside strategy
+	// generation (a read-only construction pass over calendar snapshots).
+	// The simulation loop itself stays single-threaded and the live
+	// calendars keep a single writer: parallelism never touches them.
+	// Values ≤ 1 keep generation fully sequential; any value produces
+	// byte-identical runs.
+	Workers int
+
 	// Faults configures deterministic fault injection (node/domain
 	// outages and mid-run task failures). The zero value disables it
 	// entirely and reproduces the fault-free simulator exactly.
@@ -285,6 +293,7 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 				Pool:        pool,
 				StorageNode: pool[0],
 				Objective:   cfg.Objective,
+				Workers:     cfg.Workers,
 			},
 		}
 		vo.managers = append(vo.managers, m)

@@ -29,6 +29,20 @@ func (s *Source) Split(label uint64) *Source {
 	return &Source{state: s.Uint64() ^ (label * 0x9e3779b97f4a7c15)}
 }
 
+// SplitN pre-splits n child streams, advancing the parent n times. It is
+// exactly equivalent to calling Split(0), Split(1), …, Split(n-1) in
+// order, which is how the sequential experiment loops derive their per-unit
+// streams — so a caller that pre-splits before fanning units out across
+// goroutines hands every unit the byte-identical stream it would have seen
+// sequentially, regardless of goroutine scheduling.
+func (s *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = s.Split(uint64(i))
+	}
+	return out
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

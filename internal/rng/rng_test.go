@@ -15,6 +15,24 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestSplitNMatchesSequentialSplits(t *testing.T) {
+	// SplitN must reproduce the lazy Split(0..n-1) loop exactly: same child
+	// streams, same final parent state.
+	a, b := New(99), New(99)
+	pre := a.SplitN(16)
+	for i := 0; i < 16; i++ {
+		lazy := b.Split(uint64(i))
+		for d := 0; d < 50; d++ {
+			if got, want := pre[i].Uint64(), lazy.Uint64(); got != want {
+				t.Fatalf("child %d draw %d: SplitN %d != Split %d", i, d, got, want)
+			}
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("parent streams diverged after SplitN vs sequential splits")
+	}
+}
+
 func TestDifferentSeedsDiffer(t *testing.T) {
 	a, b := New(1), New(2)
 	same := 0
