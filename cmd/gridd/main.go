@@ -1,0 +1,144 @@
+// Command gridd runs the metascheduler as a long-running HTTP service: a
+// bounded admission queue with backpressure and priority shedding,
+// deadline-feasibility admission control, per-domain circuit breakers, and
+// a graceful SIGTERM drain that snapshots still-queued jobs to disk in the
+// jobio wire format.
+//
+// Usage:
+//
+//	gridd -listen :8080 -domains 3 -seed 1
+//	gridd -env nodes.json -queue 32 -snapshot drained.json
+//
+// The environment comes from -env (a jobio node file, e.g. the output of
+// `jobgen -env`) or is generated synthetically from -domains/-seed. See
+// the README for the curl walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/faults"
+	"repro/internal/jobio"
+	"repro/internal/metasched"
+	"repro/internal/resource"
+	"repro/internal/service"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8080", "HTTP listen address")
+		envPath      = flag.String("env", "", "environment JSON (jobio node file); empty generates one")
+		domains      = flag.Int("domains", 2, "domain count for the generated environment")
+		seed         = flag.Uint64("seed", 1, "seed for the generated environment and fault schedule")
+		queueCap     = flag.Int("queue", 64, "admission queue bound")
+		snapshot     = flag.String("snapshot", "gridd-drained.json", "drain snapshot path (empty disables)")
+		buildTimeout = flag.Duration("build-timeout", 30*time.Second, "per-job strategy build budget (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+		workers      = flag.Int("workers", 0, "parallel per-level build workers (0 = sequential)")
+		brThreshold  = flag.Int("breaker-threshold", 5, "consecutive failures that trip a domain breaker (0 disables breakers)")
+		taskFailRate = flag.Float64("task-fail-rate", 0, "per-activation mid-run task failure probability (chaos mode)")
+		mtbf         = flag.Float64("mtbf", 0, "mean model time between node outages (0 disables outages)")
+		mttr         = flag.Float64("mttr", 50, "mean outage duration")
+		faultHorizon = flag.Int64("fault-horizon", 1_000_000, "model-time horizon of the outage schedule")
+	)
+	flag.Parse()
+
+	env, err := loadEnv(*envPath, *domains, *seed)
+	if err != nil {
+		log.Fatalf("gridd: %v", err)
+	}
+
+	cfg := service.Config{
+		Env:          env,
+		QueueCap:     *queueCap,
+		BuildTimeout: *buildTimeout,
+		DrainTimeout: *drainTimeout,
+		SnapshotPath: *snapshot,
+		Sched: metasched.Config{
+			Seed:    *seed,
+			Workers: *workers,
+			Faults: faults.Config{
+				MTBF:         *mtbf,
+				MTTR:         *mttr,
+				TaskFailRate: *taskFailRate,
+				MaxRetries:   2,
+				JitterFrac:   0.2,
+				Until:        timeOrZero(*mtbf, *faultHorizon),
+				Seed:         *seed + 1,
+			},
+		},
+	}
+	if *brThreshold > 0 {
+		cfg.Breaker = &breaker.Config{Threshold: *brThreshold, JitterFrac: 0.2, Seed: *seed + 2}
+	}
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		log.Fatalf("gridd: %v", err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("gridd: serving on %s (%d nodes, %d domains, queue %d)",
+		*listen, env.NumNodes(), len(env.Domains()), *queueCap)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("gridd: %s received, draining (budget %s)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("gridd: http: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("gridd: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("gridd: http shutdown: %v", err)
+	}
+	m := srv.Metrics()
+	log.Printf("gridd: drained — accepted=%d completed=%d rejected=%d drained=%d",
+		m.Accepted, m.Completed, m.Rejected, m.Drained)
+}
+
+// loadEnv reads a jobio environment or generates the synthetic one.
+func loadEnv(path string, domains int, seed uint64) (*resource.Environment, error) {
+	if path == "" {
+		return workload.New(workload.Default(seed)).Environment(domains), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("environment: %w", err)
+	}
+	defer f.Close()
+	env, err := jobio.ReadEnvironment(f)
+	if err != nil {
+		return nil, fmt.Errorf("environment %s: %w", path, err)
+	}
+	return env, nil
+}
+
+// timeOrZero returns horizon when outages are enabled, 0 otherwise (a
+// non-zero Until with MTBF 0 is harmless but misleading in logs).
+func timeOrZero(mtbf float64, horizon int64) simtime.Time {
+	if mtbf > 0 {
+		return simtime.Time(horizon)
+	}
+	return 0
+}

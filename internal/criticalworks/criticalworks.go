@@ -19,6 +19,7 @@
 package criticalworks
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -132,6 +133,13 @@ type Options struct {
 	Mode CollisionMode
 	// Objective selects the DP target; default MinFinish.
 	Objective Objective
+	// Ctx, when non-nil, bounds the build's execution: cancellation is
+	// checked between critical works and between DP rows, so a
+	// pathological job cannot wedge the worker running it. A cancelled
+	// build aborts with an error wrapping ctx.Err() (never an
+	// InfeasibleError). nil means no cancellation — byte-identical to
+	// builds before the hook existed.
+	Ctx context.Context
 }
 
 // Calendars is the mutable scheduling view: one calendar per node. Build
@@ -284,10 +292,24 @@ func Build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options)
 	return firstPartial, firstErr
 }
 
+// cancelled returns a build-abort error when the run's context is done.
+func (b *builder) cancelled() error {
+	if b.opt.Ctx == nil {
+		return nil
+	}
+	if err := b.opt.Ctx.Err(); err != nil {
+		return fmt.Errorf("criticalworks: job %q build cancelled: %w", b.opt.JobName, err)
+	}
+	return nil
+}
+
 // buildOnce runs the full multiphase procedure for one margin.
 func (b *builder) buildOnce() (*Schedule, error) {
 	b.computeBounds()
 	for len(b.placed) < b.job.NumTasks() {
+		if err := b.cancelled(); err != nil {
+			return nil, err
+		}
 		chain, ok := b.job.LongestChain(b.chainWeights(), func(id dag.TaskID) bool {
 			_, done := b.placed[id]
 			return !done

@@ -17,6 +17,9 @@ func (b *builder) placeChain(chain dag.Chain) error {
 	if !ok {
 		return &InfeasibleError{Job: b.opt.JobName, Task: b.job.Task(chain.Tasks[0]).Name}
 	}
+	if err := b.cancelled(); err != nil {
+		return err
+	}
 
 	var actual []Placement
 	switch b.opt.Mode {

@@ -49,6 +49,11 @@ type Config struct {
 	// RetryBackoff is the base backoff delay; attempt k waits
 	// RetryBackoff << (k-1). Zero defaults to DefaultBackoff.
 	RetryBackoff simtime.Time
+	// JitterFrac spreads each backoff delay uniformly over
+	// [d−frac·d, d+frac·d] from a seeded stream, de-synchronizing retry
+	// storms after a shared outage. Zero (the default) keeps the delays
+	// exact and runs byte-identical to builds without jitter support.
+	JitterFrac float64
 	// Until is the model-time horizon of the outage schedule; no outage
 	// starts at or after it. Required (>0) when MTBF is set.
 	Until simtime.Time
@@ -65,21 +70,75 @@ func (c Config) Enabled() bool { return c.MTBF > 0 || c.TaskFailRate > 0 }
 // OutagesEnabled reports whether the outage process is switched on.
 func (c Config) OutagesEnabled() bool { return c.MTBF > 0 && c.Until > 0 }
 
+// BackoffCap bounds every exponential backoff delay: large attempt counts
+// saturate here instead of overflowing int64 into negative durations.
+const BackoffCap = simtime.Infinity / 2
+
 // Backoff returns the delay before retry attempt k (1-based), doubling
-// per attempt from the configured base.
+// per attempt from the configured base and saturating at BackoffCap.
 func (c Config) Backoff(attempt int) simtime.Time {
 	base := c.RetryBackoff
 	if base <= 0 {
 		base = DefaultBackoff
 	}
+	return ExpBackoff(base, attempt, BackoffCap)
+}
+
+// JitteredBackoff is Backoff with the configured JitterFrac applied from
+// r's stream. With a zero JitterFrac (or nil r) it is exactly Backoff and
+// draws nothing, so runs without jitter stay byte-identical.
+func (c Config) JitteredBackoff(attempt int, r *rng.Source) simtime.Time {
+	return Jitter(c.Backoff(attempt), c.JitterFrac, r)
+}
+
+// ExpBackoff returns base·2^(attempt−1) clamped to [base, max]. The shift
+// count is capped before it can wrap: any attempt that would overflow
+// int64 — or merely exceed max — saturates at max. attempt values below 1
+// are treated as 1; a non-positive max falls back to BackoffCap.
+func ExpBackoff(base simtime.Time, attempt int, max simtime.Time) simtime.Time {
+	if base <= 0 {
+		base = DefaultBackoff
+	}
+	if max <= 0 {
+		max = BackoffCap
+	}
+	if base >= max {
+		return max
+	}
 	if attempt < 1 {
 		attempt = 1
 	}
-	d := base << uint(attempt-1)
-	if d < base { // shift overflow
-		return simtime.Infinity / 2
+	// base < max ≤ int64 range, so the saturation point is the first shift
+	// where base ≥ max>>shift; testing against max>>shift avoids ever
+	// computing an overflowing base<<shift.
+	shift := uint(attempt - 1)
+	if shift >= 63 || base > max>>shift {
+		return max
 	}
-	return d
+	return base << shift
+}
+
+// Jitter spreads d uniformly over [d−frac·d, d+frac·d] using r's stream,
+// never returning less than 1 tick. frac ≤ 0 or a nil r returns d exactly
+// (and draws nothing); frac is clamped to 1. Both the recovery ladder's
+// retry delays and the circuit breaker's open windows share this helper,
+// so a single seeded stream de-correlates them consistently.
+func Jitter(d simtime.Time, frac float64, r *rng.Source) simtime.Time {
+	if frac <= 0 || r == nil || d <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	spread := simtime.Time(frac * float64(d))
+	if spread <= 0 {
+		return d
+	}
+	out := d - spread + simtime.Time(r.Int64n(2*int64(spread)+1))
+	if out < 1 {
+		out = 1
+	}
+	return out
 }
 
 // Availability returns the steady-state node availability implied by the

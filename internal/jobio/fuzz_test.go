@@ -15,6 +15,19 @@ func FuzzReadJobs(f *testing.F) {
 		`"edges":[{"name":"e","from":"A","to":"B","baseTime":1}]}]`)
 	f.Add(`not json at all`)
 	f.Add(`[{"tasks":[{"name":"A","baseTime":-4}]}]`)
+	// Malformed submissions the service must reject without panicking:
+	// duplicate task names, dangling edge endpoints, self-loops, negative
+	// weights and deadlines, and overflow-scale values.
+	f.Add(`[{"name":"dup","tasks":[{"name":"A","baseTime":1,"volume":1},{"name":"A","baseTime":1,"volume":1}]}]`)
+	f.Add(`[{"name":"dangle","tasks":[{"name":"A","baseTime":1,"volume":1}],` +
+		`"edges":[{"name":"e","from":"A","to":"ghost","baseTime":1,"volume":1}]}]`)
+	f.Add(`[{"name":"loop","tasks":[{"name":"A","baseTime":1,"volume":1}],` +
+		`"edges":[{"name":"e","from":"A","to":"A","baseTime":1,"volume":1}]}]`)
+	f.Add(`[{"name":"neg","deadline":-7,"tasks":[{"name":"A","baseTime":1,"volume":-3}]}]`)
+	f.Add(`[{"name":"big","deadline":9223372036854775807,` +
+		`"tasks":[{"name":"A","baseTime":9223372036854775807,"volume":9223372036854775807}]}]`)
+	f.Add(`[{"name":"zerovol","tasks":[{"name":"A","baseTime":2,"volume":0}]}]`)
+	f.Add(`[{"name":"empty-name","tasks":[{"name":"","baseTime":1,"volume":1}]}]`)
 	f.Fuzz(func(t *testing.T, in string) {
 		jobs, err := ReadJobs(strings.NewReader(in))
 		if err != nil {

@@ -61,6 +61,50 @@ func TestToJobValidation(t *testing.T) {
 	}
 }
 
+func TestValidatePreciseErrors(t *testing.T) {
+	// Each malformed wire job must be rejected with an error that names the
+	// offending task or edge — the service relays these verbatim to clients.
+	task := func(name string) Task { return Task{Name: name, BaseTime: 1, Volume: 1} }
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"negative deadline", Job{Name: "x", Deadline: -1, Tasks: []Task{task("A")}}, "negative deadline"},
+		{"empty task name", Job{Name: "x", Tasks: []Task{{BaseTime: 1, Volume: 1}}}, "empty name"},
+		{"duplicate task", Job{Name: "x", Tasks: []Task{task("A"), task("A")}}, `duplicate task name "A"`},
+		{"zero base time", Job{Name: "x", Tasks: []Task{{Name: "A", Volume: 1}}}, `task "A" has non-positive base time`},
+		{"negative base time", Job{Name: "x", Tasks: []Task{{Name: "A", BaseTime: -2, Volume: 1}}}, `task "A" has non-positive base time`},
+		{"zero volume", Job{Name: "x", Tasks: []Task{{Name: "A", BaseTime: 1}}}, `task "A" has non-positive volume`},
+		{"dangling from", Job{Name: "x", Tasks: []Task{task("A")},
+			Edges: []Edge{{Name: "e", From: "Z", To: "A"}}}, `edge "e" references unknown task "Z"`},
+		{"dangling to", Job{Name: "x", Tasks: []Task{task("A")},
+			Edges: []Edge{{Name: "e", From: "A", To: "Z"}}}, `edge "e" references unknown task "Z"`},
+		{"self loop", Job{Name: "x", Tasks: []Task{task("A")},
+			Edges: []Edge{{Name: "e", From: "A", To: "A"}}}, "self-loop"},
+		{"negative edge time", Job{Name: "x", Tasks: []Task{task("A"), task("B")},
+			Edges: []Edge{{Name: "e", From: "A", To: "B", BaseTime: -1}}}, `edge "e" has negative base time`},
+		{"negative edge volume", Job{Name: "x", Tasks: []Task{task("A"), task("B")},
+			Edges: []Edge{{Name: "e", From: "A", To: "B", Volume: -1}}}, `edge "e" has negative volume`},
+		{"unnamed edge", Job{Name: "x", Tasks: []Task{task("A")},
+			Edges: []Edge{{From: "A", To: "Z"}}}, `edge "#0" references unknown task "Z"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.job.Validate()
+			if err == nil {
+				t.Fatalf("accepted malformed job")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if _, err := tc.job.ToJob(); err == nil {
+				t.Errorf("ToJob accepted what Validate rejected")
+			}
+		})
+	}
+}
+
 func TestJobsStreamRoundTrip(t *testing.T) {
 	gen := workload.New(workload.Default(3))
 	var wire []Job

@@ -40,6 +40,7 @@
 package metasched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -79,6 +80,22 @@ type Config struct {
 	// Placement selects the metascheduler's flow-distribution rule;
 	// default PlaceLeastLoaded.
 	Placement PlacementPolicy
+
+	// DomainFilter, when set, lets an outer control layer veto placement
+	// domains — the service layer points it at a per-domain circuit
+	// breaker so a domain whose strategies repeatedly die stops receiving
+	// work. Returning false excludes the domain from flow distribution and
+	// reallocation exactly like a fully-down domain. nil admits every
+	// domain (the simulation default).
+	DomainFilter func(domain string) bool
+
+	// BuildCtx, when set, supplies a per-job context bounding all strategy
+	// generation work done on the job's behalf (initial builds, retries,
+	// fallback re-anchoring). A cancelled context makes the in-progress
+	// build abort at its next checkpoint and the job fail its current
+	// recovery step. nil means unbounded builds — the simulation default,
+	// byte-identical to runs before the hook existed.
+	BuildCtx func(jobName string) context.Context
 
 	// Tracer, when set, receives every VO lifecycle event.
 	Tracer Tracer
@@ -260,8 +277,12 @@ type VO struct {
 	extOn    bool
 	rrNext   int // round-robin cursor
 
-	failRng *rng.Source // mid-run task-failure draws, nil when disabled
-	fstats  metrics.FaultStats
+	submitted map[string]bool // job names ever submitted, for duplicate detection
+	closed    bool            // Close called; no further submissions
+
+	failRng   *rng.Source // mid-run task-failure draws, nil when disabled
+	jitterRng *rng.Source // retry-backoff jitter draws, nil when disabled
+	fstats    metrics.FaultStats
 }
 
 // NewVO builds the hierarchy over env: one job manager per distinct node
@@ -271,12 +292,16 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 		cfg.Pricing = economy.FlatPricing{PerTick: 1}
 	}
 	vo := &VO{
-		engine:   engine,
-		env:      env,
-		cfg:      cfg,
-		byDomain: make(map[string]*JobManager),
-		active:   make(map[string]*activeJob),
-		extRng:   rng.New(cfg.Seed).Split(0xE7),
+		engine:    engine,
+		env:       env,
+		cfg:       cfg,
+		byDomain:  make(map[string]*JobManager),
+		active:    make(map[string]*activeJob),
+		submitted: make(map[string]bool),
+		extRng:    rng.New(cfg.Seed).Split(0xE7),
+	}
+	if cfg.Faults.JitterFrac > 0 {
+		vo.jitterRng = rng.New(cfg.Faults.Seed).Split(0x717E)
 	}
 	for _, dom := range env.Domains() {
 		var pool []resource.NodeID
@@ -325,8 +350,32 @@ func (vo *VO) Managers() []*JobManager { return vo.managers }
 func (vo *VO) Results() []*JobResult { return vo.results }
 
 // Submit schedules a job of the given strategy family for arrival at `at`.
-func (vo *VO) Submit(job *dag.Job, typ strategy.Type, at simtime.Time) {
+// It rejects — with an error, before any engine state changes — duplicate
+// job names (a second submission would corrupt the active-job registry,
+// which is keyed by name), arrivals scheduled in the engine's past, and
+// submissions after Close: all three used to corrupt state silently or
+// panic deep inside the engine.
+func (vo *VO) Submit(job *dag.Job, typ strategy.Type, at simtime.Time) error {
+	if vo.closed {
+		return fmt.Errorf("metasched: job %q submitted after the VO was closed", job.Name)
+	}
+	if vo.submitted[job.Name] {
+		return fmt.Errorf("metasched: duplicate job %q already submitted", job.Name)
+	}
+	if at < vo.engine.Now() {
+		return fmt.Errorf("metasched: job %q arrival %d is in the past (now %d)", job.Name, at, vo.engine.Now())
+	}
+	vo.submitted[job.Name] = true
 	vo.engine.At(at, "arrive "+job.Name, func() { vo.arrive(job, typ) })
+	return nil
+}
+
+// Close marks the VO finished: every later Submit fails with an error.
+// The engine and results remain readable; closing is idempotent. The
+// service layer closes the VO when a drain completes so that a straggling
+// submission cannot revive a drained engine.
+func (vo *VO) Close() {
+	vo.closed = true
 }
 
 // arrive implements the metascheduler's flow distribution: pick the least
@@ -359,13 +408,30 @@ func (vo *VO) arrive(job *dag.Job, typ strategy.Type) {
 	m.adopt(aj, true)
 }
 
-// placeJob applies the configured placement policy, excluding `except`
-// and (degraded-mode placement) domains whose every node is down.
+// domainAllowed consults the configured DomainFilter; nil admits all.
+func (vo *VO) domainAllowed(domain string) bool {
+	return vo.cfg.DomainFilter == nil || vo.cfg.DomainFilter(domain)
+}
+
+// buildCtx returns the job's build-bounding context, or Background.
+func (vo *VO) buildCtx(jobName string) context.Context {
+	if vo.cfg.BuildCtx == nil {
+		return context.Background()
+	}
+	if ctx := vo.cfg.BuildCtx(jobName); ctx != nil {
+		return ctx
+	}
+	return context.Background()
+}
+
+// placeJob applies the configured placement policy, excluding `except`,
+// domains vetoed by the DomainFilter (circuit breaker) and (degraded-mode
+// placement) domains whose every node is down.
 func (vo *VO) placeJob(except map[string]bool) *JobManager {
 	if vo.cfg.Placement == PlaceRoundRobin {
 		for i := 0; i < len(vo.managers); i++ {
 			m := vo.managers[(vo.rrNext+i)%len(vo.managers)]
-			if except[m.domain] || !vo.env.DomainUp(m.domain) {
+			if except[m.domain] || !vo.env.DomainUp(m.domain) || !vo.domainAllowed(m.domain) {
 				continue
 			}
 			vo.rrNext = (vo.rrNext + i + 1) % len(vo.managers)
@@ -384,7 +450,7 @@ func (vo *VO) leastLoaded(except map[string]bool) *JobManager {
 	var best *JobManager
 	var bestLoad float64
 	for _, m := range vo.managers {
-		if except[m.domain] || !vo.env.DomainUp(m.domain) {
+		if except[m.domain] || !vo.env.DomainUp(m.domain) || !vo.domainAllowed(m.domain) {
 			continue
 		}
 		var load float64
@@ -406,7 +472,7 @@ func (vo *VO) leastLoaded(except map[string]bool) *JobManager {
 func (m *JobManager) adopt(aj *activeJob, initial bool) {
 	now := m.vo.engine.Now()
 	snap := criticalworks.Snapshot(m.vo.env)
-	st, err := m.gen.Generate(aj.result.Job, aj.result.Type, snap, now)
+	st, err := m.gen.GenerateCtx(m.vo.buildCtx(aj.result.Job.Name), aj.result.Job, aj.result.Type, snap, now)
 	if err != nil {
 		// Structural failures cannot happen for generator-produced jobs;
 		// treat as rejection rather than crash the simulation.
@@ -563,7 +629,7 @@ func (m *JobManager) taskFailed(aj *activeJob, detail string) {
 		aj.retries++
 		aj.result.Retries++
 		vo.fstats.Retries++
-		at := now + vo.cfg.Faults.Backoff(aj.retries)
+		at := now + vo.cfg.Faults.JitteredBackoff(aj.retries, vo.jitterRng)
 		vo.trace(EventRetry, aj.result.Job.Name, m.domain, func(e *Event) {
 			e.Level = aj.retries
 			e.Start = at
@@ -589,7 +655,7 @@ func (m *JobManager) fallback(aj *activeJob) {
 		}
 		aj.used[next.Level] = true
 		snap := criticalworks.Snapshot(m.vo.env)
-		d, partial, err := m.gen.BuildLevel(aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap, now)
+		d, partial, err := m.gen.BuildLevelCtx(m.vo.buildCtx(aj.result.Job.Name), aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap, now)
 		if err != nil || d == nil || !d.Admissible {
 			if partial != nil {
 				aj.result.Evaluations += partial.Evaluations

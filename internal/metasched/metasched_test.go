@@ -1,6 +1,7 @@
 package metasched
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"testing/quick"
@@ -330,5 +331,94 @@ func TestQuickVODeterministicAndTerminal(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSubmitGuards(t *testing.T) {
+	e := sim.New()
+	vo := NewVO(e, twoDomainEnv(), Config{})
+	if err := vo.Submit(simpleJob("dup", 50), strategy.S1, 5); err != nil {
+		t.Fatalf("first submission rejected: %v", err)
+	}
+	if err := vo.Submit(simpleJob("dup", 60), strategy.S2, 7); err == nil {
+		t.Error("duplicate job name accepted")
+	}
+	e.Run()
+	// Only one "dup" passed through the pipeline.
+	if n := len(vo.Results()); n != 1 {
+		t.Fatalf("got %d results, want 1", n)
+	}
+
+	// Arrivals in the engine's past must error, not panic.
+	if err := vo.Submit(simpleJob("late", 90), strategy.S1, e.Now()-1); err == nil {
+		t.Error("past arrival accepted")
+	}
+
+	vo.Close()
+	if err := vo.Submit(simpleJob("after", 200), strategy.S1, e.Now()+10); err == nil {
+		t.Error("submission after Close accepted")
+	}
+	vo.Close() // idempotent
+}
+
+func TestDomainFilterExcludesDomains(t *testing.T) {
+	// With dom-0 vetoed, every job must land in dom-1; with both vetoed the
+	// job is rejected on arrival.
+	e := sim.New()
+	vo := NewVO(e, twoDomainEnv(), Config{
+		DomainFilter: func(d string) bool { return d != "dom-0" },
+	})
+	if err := vo.Submit(simpleJob("a", 100), strategy.S1, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	r := vo.Results()[0]
+	if r.State != StateCompleted || r.Domain != "dom-1" {
+		t.Fatalf("job ended %v in %q, want completed in dom-1", r.State, r.Domain)
+	}
+
+	e2 := sim.New()
+	vo2 := NewVO(e2, twoDomainEnv(), Config{
+		DomainFilter: func(string) bool { return false },
+	})
+	if err := vo2.Submit(simpleJob("b", 100), strategy.S1, 0); err != nil {
+		t.Fatal(err)
+	}
+	e2.Run()
+	if vo2.Results()[0].State != StateRejected {
+		t.Fatal("job placed despite every domain vetoed")
+	}
+}
+
+func TestBuildCtxCancellationRejectsJob(t *testing.T) {
+	// A job whose build context is already cancelled can never activate a
+	// strategy: it must be rejected cleanly, not wedge or panic.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := sim.New()
+	vo := NewVO(e, twoDomainEnv(), Config{
+		BuildCtx: func(name string) context.Context {
+			if name == "doomed" {
+				return ctx
+			}
+			return context.Background()
+		},
+	})
+	if err := vo.Submit(simpleJob("doomed", 100), strategy.S1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := vo.Submit(simpleJob("fine", 100), strategy.S1, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	byName := map[string]State{}
+	for _, r := range vo.Results() {
+		byName[r.Job.Name] = r.State
+	}
+	if byName["doomed"] != StateRejected {
+		t.Errorf("doomed job ended %v, want rejected", byName["doomed"])
+	}
+	if byName["fine"] != StateCompleted {
+		t.Errorf("unaffected job ended %v, want completed", byName["fine"])
 	}
 }

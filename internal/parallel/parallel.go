@@ -20,6 +20,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -64,6 +65,17 @@ func (e *PanicError) Error() string {
 // With one worker the units run in index order on the calling goroutine
 // and the first error aborts the loop immediately — the sequential path.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no further unit is dispatched and the call returns ctx.Err() (unless a
+// lower-indexed unit already failed — the lowest-indexed error still
+// wins). Units already in flight run to completion; long-running units
+// that want finer-grained interruption must watch ctx themselves. With a
+// never-cancelled context the dispatch order, result slots and returned
+// error are byte-identical to ForEach at any worker count.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -73,6 +85,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runUnit(i, fn); err != nil {
 				return err
 			}
@@ -86,6 +101,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		mu       sync.Mutex
 		firstIdx = -1
 		firstErr error
+		ctxErr   error
 		wg       sync.WaitGroup
 	)
 	record := func(i int, err error) {
@@ -96,11 +112,26 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		mu.Unlock()
 		stop.Store(true)
 	}
+	cancelled := func() bool {
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			mu.Unlock()
+			stop.Store(true)
+			return true
+		}
+		return false
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
+				if cancelled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -112,7 +143,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctxErr
 }
 
 // runUnit executes one unit with panic containment.
@@ -130,8 +164,13 @@ func runUnit(i int, fn func(i int) error) (err error) {
 // it or when it finished. On error the partial results are discarded and
 // the lowest-indexed failure is returned (see ForEach).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx).
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jobio"
+)
+
+// SubmitRequest is the POST /v1/jobs body: the jobio wire form of the job
+// plus service-level fields. Deadline is a relative QoS budget in model
+// ticks (the absolute deadline is arrival + deadline).
+type SubmitRequest struct {
+	jobio.Job
+	// Strategy selects the family ("S1", "S2", "S3", "MS1"); empty = S1.
+	Strategy string `json:"strategy,omitempty"`
+	// Priority orders overload shedding; higher survives longer.
+	Priority int `json:"priority,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Code   string `json:"code,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs      — submit a job (202, or 400/409/422/429/503)
+//	GET  /v1/jobs      — list all job records
+//	GET  /v1/jobs/{id} — one job record (404 when unknown)
+//	GET  /v1/metrics   — counters snapshot
+//	GET  /healthz      — liveness (always 200 while the process runs)
+//	GET  /readyz       — readiness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request", Code: CodeInvalid, Reason: err.Error()})
+		return
+	}
+	rec, err := s.Submit(req.Job, req.Strategy, req.Priority)
+	if err != nil {
+		se, ok := err.(*SubmitError)
+		if !ok {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		status := http.StatusBadRequest
+		switch se.Code {
+		case CodeDuplicate:
+			status = http.StatusConflict
+		case CodeInfeasible:
+			status = http.StatusUnprocessableEntity
+		case CodeOverloaded:
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(se.RetryAfter.Seconds()+0.5)))
+		case CodeDraining:
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorBody{Error: "rejected", Code: se.Code, Reason: se.Reason})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job", Reason: id})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

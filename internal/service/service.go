@@ -1,0 +1,711 @@
+// Package service turns the deterministic VO/metascheduler engine into a
+// long-running scheduler service: a bounded admission queue with
+// backpressure and priority shedding, deadline-feasibility admission
+// control, per-domain circuit breakers, per-job build deadlines, and a
+// graceful drain that snapshots still-queued work to disk in the jobio
+// wire format.
+//
+// # Threading model
+//
+// The simulation engine, the VO and the circuit breakers are confined to
+// ONE goroutine (the engine loop started by Start); they are never touched
+// from HTTP handlers. Handlers only push into the admission queue and read
+// the job registry, both guarded by one mutex. Virtual model time advances
+// only inside the engine loop: a submission is mapped to an arrival one
+// tick after the engine's current time, the engine runs just past the
+// arrival (so the strategy is built and the reservations are booked while
+// later start/finish events stay pending), and whenever the queue is empty
+// the engine runs to quiescence, completing everything in flight.
+//
+// # Job lifecycle
+//
+// A submission is rejected before it enters the queue when the service is
+// draining, the wire form is invalid, the ID was seen before, or the
+// deadline is provably unmeetable (shorter than the job's task-only
+// critical path on the fastest node tier). A valid job waits in the
+// bounded queue ("queued"), is handed to the VO ("scheduled"), and ends in
+// exactly one terminal state: "completed", "rejected" (with a reason:
+// infeasible, shed under overload, or no feasible allocation), or
+// "drained" (written to the shutdown snapshot). A full queue sheds the
+// lowest-priority queued job when a strictly more important one arrives;
+// otherwise the newcomer is refused with a retry hint (HTTP 429).
+package service
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/dag"
+	"repro/internal/jobio"
+	"repro/internal/metasched"
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/strategy"
+)
+
+// Job lifecycle states as reported by the API.
+const (
+	StateQueued    = "queued"
+	StateScheduled = "scheduled"
+	StateCompleted = "completed"
+	StateRejected  = "rejected"
+	StateDrained   = "drained"
+)
+
+// Terminal reports whether a state is final.
+func Terminal(state string) bool {
+	return state == StateCompleted || state == StateRejected || state == StateDrained
+}
+
+// Config tunes the service.
+type Config struct {
+	// Env is the processor-node environment the VO schedules on. Required.
+	Env *resource.Environment
+	// Sched is the base VO configuration. The service overwrites Tracer
+	// (wrapping any configured one), DomainFilter and BuildCtx to install
+	// its own hooks.
+	Sched metasched.Config
+	// QueueCap bounds the admission queue. Default 64.
+	QueueCap int
+	// BuildTimeout bounds the wall-clock time spent building (and
+	// re-building, through retries and fallbacks) any one job's strategy.
+	// Zero means unbounded.
+	BuildTimeout time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight jobs before
+	// cancelling their builds. Default 10s.
+	DrainTimeout time.Duration
+	// Breaker, when non-nil, arms a per-domain circuit breaker: a domain
+	// whose jobs repeatedly fail stops receiving placements until its open
+	// window expires.
+	Breaker *breaker.Config
+	// SnapshotPath is where Drain writes still-queued jobs (jobio wire
+	// format). Empty disables the snapshot; drained jobs are still marked.
+	SnapshotPath string
+	// RetryAfter is the hint returned with backpressure rejections.
+	// Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) queueCap() int {
+	if c.QueueCap <= 0 {
+		return 64
+	}
+	return c.QueueCap
+}
+
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout <= 0 {
+		return 10 * time.Second
+	}
+	return c.DrainTimeout
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return time.Second
+	}
+	return c.RetryAfter
+}
+
+// SubmitError is a typed admission failure; the HTTP layer maps Code to a
+// status.
+type SubmitError struct {
+	Code   string // "invalid", "duplicate", "infeasible", "overloaded", "draining"
+	Reason string
+	// RetryAfter is set for overloaded rejections.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *SubmitError) Error() string { return fmt.Sprintf("service: %s: %s", e.Code, e.Reason) }
+
+// The SubmitError codes.
+const (
+	CodeInvalid    = "invalid"
+	CodeDuplicate  = "duplicate"
+	CodeInfeasible = "infeasible"
+	CodeOverloaded = "overloaded"
+	CodeDraining   = "draining"
+)
+
+// Record is one job's service-side ledger entry.
+type Record struct {
+	ID       string       `json:"id"`
+	Strategy string       `json:"strategy"`
+	Priority int          `json:"priority"`
+	State    string       `json:"state"`
+	Reason   string       `json:"reason,omitempty"`
+	Domain   string       `json:"domain,omitempty"`
+	Arrival  simtime.Time `json:"arrival,omitempty"`
+	Finish   simtime.Time `json:"finish,omitempty"`
+	Level    int          `json:"level,omitempty"`
+	Retries  int          `json:"retries,omitempty"`
+	Seq      uint64       `json:"seq"`
+}
+
+// Metrics is a point-in-time counters snapshot.
+type Metrics struct {
+	Submitted      uint64            `json:"submitted"`
+	Accepted       uint64            `json:"accepted"`
+	Completed      uint64            `json:"completed"`
+	Rejected       uint64            `json:"rejected"`
+	Shed           uint64            `json:"shed"`
+	Infeasible     uint64            `json:"infeasible"`
+	Overloaded     uint64            `json:"overloaded"`
+	Drained        uint64            `json:"drained"`
+	QueueDepth     int               `json:"queueDepth"`
+	QueueHighWater int               `json:"queueHighWater"`
+	EngineNow      simtime.Time      `json:"engineNow"`
+	EventsFired    uint64            `json:"eventsFired"`
+	BreakerTrips   int               `json:"breakerTrips"`
+	Breakers       map[string]string `json:"breakers,omitempty"`
+	Draining       bool              `json:"draining"`
+}
+
+// entry is one queued submission.
+type entry struct {
+	rec  *Record
+	job  *dag.Job // deadline still relative; rebased at arrival
+	wire jobio.Job
+	typ  strategy.Type
+}
+
+// Server is the long-running scheduler service.
+type Server struct {
+	cfg      Config
+	engine   *sim.Engine
+	vo       *metasched.VO
+	breakers *breaker.Set // nil when disabled; engine goroutine only
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*entry
+	records   map[string]*Record
+	order     []string // record IDs in submission order
+	seq       uint64
+	met       Metrics
+	// engineNow/engineFired are the engine clock as of the last completed
+	// processing step, published under mu because the live engine is owned
+	// by the loop goroutine and must not be read from handlers.
+	engineNow   simtime.Time
+	engineFired uint64
+	draining    bool
+	buildCtxs map[string]context.CancelFunc // per scheduled job
+
+	loopDone chan struct{} // closed when the engine loop exits; nil before Start
+}
+
+// New builds a server over env. The engine loop is not started; call Start,
+// or drive the server manually with Process/Quiesce in tests.
+func New(cfg Config) (*Server, error) {
+	if cfg.Env == nil {
+		return nil, fmt.Errorf("service: Config.Env is required")
+	}
+	s := &Server{
+		cfg:       cfg,
+		engine:    sim.New(),
+		records:   make(map[string]*Record),
+		buildCtxs: make(map[string]context.CancelFunc),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	if cfg.Breaker != nil {
+		s.breakers = breaker.NewSet(*cfg.Breaker)
+	}
+
+	sched := cfg.Sched
+	userTracer := sched.Tracer
+	sched.Tracer = metasched.TracerFunc(func(e metasched.Event) {
+		s.onEvent(e)
+		if userTracer != nil {
+			userTracer.Trace(e)
+		}
+	})
+	if s.breakers != nil {
+		sched.DomainFilter = func(domain string) bool {
+			return s.breakers.Allow(domain, s.engine.Now())
+		}
+	}
+	sched.BuildCtx = s.jobBuildCtx
+	s.vo = metasched.NewVO(s.engine, cfg.Env, sched)
+	return s, nil
+}
+
+// jobBuildCtx hands the VO the job's build-bounding context. Runs on the
+// engine goroutine.
+func (s *Server) jobBuildCtx(jobName string) context.Context {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx := s.rootCtx
+	var cancel context.CancelFunc
+	if s.cfg.BuildTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.BuildTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	if old, ok := s.buildCtxs[jobName]; ok {
+		old()
+	}
+	s.buildCtxs[jobName] = cancel
+	return ctx
+}
+
+// onEvent is the service's tracer hook: it keeps the registry current and
+// feeds the circuit breakers. Runs on the engine goroutine.
+func (s *Server) onEvent(e metasched.Event) {
+	now := e.At
+	if s.breakers != nil {
+		switch e.Kind {
+		case metasched.EventComplete:
+			if e.Domain != "" {
+				s.breakers.Success(e.Domain, now)
+			}
+		case metasched.EventTaskFailed:
+			if e.Domain != "" {
+				s.breakers.Failure(e.Domain, now)
+			}
+		case metasched.EventNodeDown:
+			if e.Domain != "" {
+				// A whole-domain outage is a definitive failure signal.
+				s.breakers.Failure(e.Domain, now)
+			}
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[e.Job]
+	if !ok {
+		return
+	}
+	switch e.Kind {
+	case metasched.EventActivate:
+		rec.Domain = e.Domain
+		rec.Level = e.Level
+	case metasched.EventReallocate:
+		rec.Domain = e.Domain
+	case metasched.EventRetry:
+		rec.Retries = e.Level
+	case metasched.EventComplete:
+		rec.State = StateCompleted
+		rec.Finish = now
+		s.met.Completed++
+		s.releaseBuildCtxLocked(rec.ID)
+	case metasched.EventReject:
+		rec.State = StateRejected
+		rec.Reason = "no feasible allocation"
+		rec.Finish = now
+		s.met.Rejected++
+		s.releaseBuildCtxLocked(rec.ID)
+	}
+}
+
+func (s *Server) releaseBuildCtxLocked(jobName string) {
+	if cancel, ok := s.buildCtxs[jobName]; ok {
+		cancel()
+		delete(s.buildCtxs, jobName)
+	}
+}
+
+// minDeadline is the provable lower bound on a job's makespan: the
+// task-only critical path under the fastest (tier-1) estimates. Transfers
+// are excluded because S3-family clustering can elide them; a deadline
+// below even this optimistic bound can never be met.
+func minDeadline(job *dag.Job) simtime.Time {
+	return job.CriticalPathLength(dag.WeightFunc{
+		Edge: func(dag.Edge) simtime.Time { return 0 },
+	})
+}
+
+// Submit validates and admits one wire-form job. The wire Deadline is a
+// relative QoS budget: the absolute deadline becomes arrival + Deadline
+// when the job is handed to the engine. priority orders overload shedding
+// (higher is more important).
+func (s *Server) Submit(wire jobio.Job, strategyName string, priority int) (*Record, error) {
+	typ, err := strategy.ParseType(strategyName)
+	if err != nil {
+		return nil, &SubmitError{Code: CodeInvalid, Reason: err.Error()}
+	}
+	job, err := wire.ToJob()
+	if err != nil {
+		return nil, &SubmitError{Code: CodeInvalid, Reason: err.Error()}
+	}
+	if bound := minDeadline(job); simtime.Time(wire.Deadline) < bound {
+		rec := s.recordRejection(wire, typ, priority,
+			fmt.Sprintf("infeasible: deadline %d is below the fastest-tier critical path %d", wire.Deadline, bound))
+		if rec == nil {
+			return nil, &SubmitError{Code: CodeDuplicate, Reason: fmt.Sprintf("job %q was already submitted", wire.Name)}
+		}
+		s.mu.Lock()
+		s.met.Submitted++
+		s.met.Infeasible++
+		s.met.Rejected++
+		s.mu.Unlock()
+		return rec, &SubmitError{Code: CodeInfeasible, Reason: rec.Reason}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met.Submitted++
+	if s.draining {
+		return nil, &SubmitError{Code: CodeDraining, Reason: "service is draining; not accepting work"}
+	}
+	if _, ok := s.records[wire.Name]; ok {
+		return nil, &SubmitError{Code: CodeDuplicate, Reason: fmt.Sprintf("job %q was already submitted", wire.Name)}
+	}
+	if len(s.queue) >= s.cfg.queueCap() {
+		victim := s.shedCandidateLocked(priority)
+		if victim < 0 {
+			s.met.Overloaded++
+			return nil, &SubmitError{
+				Code:       CodeOverloaded,
+				Reason:     fmt.Sprintf("admission queue full (%d)", s.cfg.queueCap()),
+				RetryAfter: s.cfg.retryAfter(),
+			}
+		}
+		s.shedLocked(victim)
+	}
+	rec := s.newRecordLocked(wire.Name, typ, priority, StateQueued)
+	s.met.Accepted++
+	s.queue = append(s.queue, &entry{rec: rec, job: job, wire: wire, typ: typ})
+	if d := len(s.queue); d > s.met.QueueHighWater {
+		s.met.QueueHighWater = d
+	}
+	s.cond.Signal()
+	return rec.clone(), nil
+}
+
+// recordRejection ledgers an admission-time rejection (infeasible). It
+// returns nil when the ID already exists.
+func (s *Server) recordRejection(wire jobio.Job, typ strategy.Type, priority int, reason string) *Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.records[wire.Name]; ok {
+		return nil
+	}
+	rec := s.newRecordLocked(wire.Name, typ, priority, StateRejected)
+	rec.Reason = reason
+	return rec.clone()
+}
+
+func (s *Server) newRecordLocked(id string, typ strategy.Type, priority int, state string) *Record {
+	s.seq++
+	rec := &Record{ID: id, Strategy: typ.String(), Priority: priority, State: state, Seq: s.seq}
+	s.records[id] = rec
+	s.order = append(s.order, id)
+	return rec
+}
+
+// shedCandidateLocked returns the queue index of the job to shed for an
+// arrival of the given priority: the lowest-priority queued job, newest
+// first among ties — and only if it is strictly less important than the
+// newcomer. -1 means nobody yields.
+func (s *Server) shedCandidateLocked(priority int) int {
+	best := -1
+	for i, e := range s.queue {
+		if best < 0 ||
+			e.rec.Priority < s.queue[best].rec.Priority ||
+			(e.rec.Priority == s.queue[best].rec.Priority && e.rec.Seq > s.queue[best].rec.Seq) {
+			best = i
+		}
+	}
+	if best >= 0 && s.queue[best].rec.Priority < priority {
+		return best
+	}
+	return -1
+}
+
+// shedLocked removes queue[i] as an overload victim.
+func (s *Server) shedLocked(i int) {
+	e := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	e.rec.State = StateRejected
+	e.rec.Reason = "shed: displaced by higher-priority work under overload"
+	s.met.Shed++
+	s.met.Rejected++
+}
+
+// dequeueLocked pops the most important queued entry (highest priority,
+// oldest among ties).
+func (s *Server) dequeueLocked() *entry {
+	best := -1
+	for i, e := range s.queue {
+		if best < 0 ||
+			e.rec.Priority > s.queue[best].rec.Priority ||
+			(e.rec.Priority == s.queue[best].rec.Priority && e.rec.Seq < s.queue[best].rec.Seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	e := s.queue[best]
+	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	return e
+}
+
+// Start launches the engine loop. Call at most once.
+func (s *Server) Start() {
+	s.loopDone = make(chan struct{})
+	go s.loop()
+}
+
+// loop is the engine goroutine: it owns the simulation engine, the VO and
+// the breakers for the server's whole life.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		e := s.dequeueLocked()
+		s.mu.Unlock()
+		s.process(e)
+		s.mu.Lock()
+		idle := len(s.queue) == 0
+		s.mu.Unlock()
+		if idle {
+			// Nothing waiting: fast-forward the virtual clock so everything
+			// in flight completes.
+			s.engine.Run()
+		}
+		s.publishEngineStats()
+	}
+}
+
+// publishEngineStats copies the engine clock into the locked snapshot
+// fields; engine goroutine (or manual-mode driver) only.
+func (s *Server) publishEngineStats() {
+	now, fired := s.engine.Now(), s.engine.Fired()
+	s.mu.Lock()
+	s.engineNow = now
+	s.engineFired = fired
+	s.mu.Unlock()
+}
+
+// process hands one dequeued job to the VO and advances the engine just
+// past its arrival: the strategy is built and its windows reserved, while
+// the start/finish events stay pending so the job is genuinely in flight.
+// Engine goroutine only (or the test driver in manual mode).
+func (s *Server) process(e *entry) {
+	arrival := s.engine.Now() + 1
+	job := e.job.WithDeadline(arrival + simtime.Time(e.wire.Deadline))
+	s.mu.Lock()
+	e.rec.State = StateScheduled
+	e.rec.Arrival = arrival
+	s.mu.Unlock()
+	if err := s.vo.Submit(job, e.typ, arrival); err != nil {
+		s.mu.Lock()
+		e.rec.State = StateRejected
+		e.rec.Reason = err.Error()
+		s.met.Rejected++
+		s.mu.Unlock()
+		return
+	}
+	s.engine.RunUntil(arrival + 1)
+}
+
+// Process dequeues and schedules up to n queued jobs synchronously (all of
+// them when n < 0) and reports how many it handled. Manual-mode driver for
+// deterministic tests; never call concurrently with Start.
+func (s *Server) Process(n int) int {
+	done := 0
+	for n < 0 || done < n {
+		s.mu.Lock()
+		e := s.dequeueLocked()
+		s.mu.Unlock()
+		if e == nil {
+			break
+		}
+		s.process(e)
+		done++
+	}
+	s.publishEngineStats()
+	return done
+}
+
+// Quiesce runs the engine until no events remain. Manual-mode counterpart
+// of the loop's idle fast-forward.
+func (s *Server) Quiesce() simtime.Time {
+	t := s.engine.Run()
+	s.publishEngineStats()
+	return t
+}
+
+// Drain gracefully shuts the service down: admissions stop, the engine
+// loop exits, still-queued jobs are snapshotted to disk (jobio wire form)
+// and marked drained, and in-flight jobs are run to completion — bounded
+// by ctx and the configured DrainTimeout, after which their builds are
+// cancelled and the engine is given one last chance to settle. The VO is
+// closed at the end; Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		<-s.loopDoneOrClosed()
+		return nil
+	}
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Wait for the engine loop to exit; afterwards this goroutine is the
+	// engine's sole owner (the channel close is the happens-before edge).
+	if s.loopDone != nil {
+		select {
+		case <-s.loopDone:
+		case <-ctx.Done():
+			// The loop only blocks inside a build; cut it and keep waiting —
+			// builds observe cancellation at their next checkpoint.
+			s.rootCancel()
+			<-s.loopDone
+		}
+	}
+
+	if err := s.snapshotQueued(); err != nil {
+		return err
+	}
+
+	// Finish what is in flight, within the drain budget.
+	timer := time.AfterFunc(s.cfg.drainTimeout(), s.rootCancel)
+	s.engine.Run()
+	timer.Stop()
+	s.publishEngineStats()
+
+	s.mu.Lock()
+	for id, cancel := range s.buildCtxs {
+		cancel()
+		delete(s.buildCtxs, id)
+	}
+	s.mu.Unlock()
+	s.vo.Close()
+	s.rootCancel()
+	return nil
+}
+
+func (s *Server) loopDoneOrClosed() <-chan struct{} {
+	if s.loopDone != nil {
+		return s.loopDone
+	}
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// snapshotQueued writes every still-queued job to the snapshot file and
+// marks it drained. With no SnapshotPath the jobs are only marked.
+func (s *Server) snapshotQueued() error {
+	s.mu.Lock()
+	var wires []jobio.Job
+	for _, e := range s.queue {
+		wires = append(wires, e.wire)
+		e.rec.State = StateDrained
+		e.rec.Reason = "drained to snapshot on shutdown"
+		s.met.Drained++
+	}
+	s.queue = nil
+	path := s.cfg.SnapshotPath
+	s.mu.Unlock()
+	if len(wires) == 0 || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("service: snapshot: %w", err)
+	}
+	if err := jobio.WriteJobs(f, wires); err != nil {
+		f.Close()
+		return fmt.Errorf("service: snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+// Job returns a copy of the record for id.
+func (s *Server) Job(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *rec, true
+}
+
+// Jobs returns copies of every record in submission order.
+func (s *Server) Jobs() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.records[id])
+	}
+	return out
+}
+
+// Metrics returns a counters snapshot. Breaker states are reported only
+// between engine-loop activity (they live on the engine goroutine); the
+// snapshot reflects the last completed processing step.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.met
+	m.QueueDepth = len(s.queue)
+	m.EngineNow = s.engineNow
+	m.EventsFired = s.engineFired
+	m.Draining = s.draining
+	return m
+}
+
+// BreakerStates returns every domain breaker's state. Engine goroutine (or
+// manual mode) only — see Metrics for the handler-safe view.
+func (s *Server) BreakerStates() map[string]string {
+	if s.breakers == nil {
+		return nil
+	}
+	out := s.breakers.States(s.engine.Now())
+	trips := 0
+	for _, name := range s.breakers.Names() {
+		trips += s.breakers.Get(name).Trips()
+	}
+	s.mu.Lock()
+	s.met.Breakers = out
+	s.met.BreakerTrips = trips
+	s.mu.Unlock()
+	return out
+}
+
+// Draining reports whether the service has stopped admitting work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Results exposes the VO's finished-job records; safe only after Drain (or
+// between manual-mode steps).
+func (s *Server) Results() []*metasched.JobResult { return s.vo.Results() }
+
+// clone copies a record for return to callers outside the lock.
+func (r *Record) clone() *Record {
+	cp := *r
+	return &cp
+}
+
+// SortRecordsByID orders records deterministically for reports.
+func SortRecordsByID(recs []Record) {
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+}

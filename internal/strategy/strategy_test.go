@@ -1,6 +1,8 @@
 package strategy
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -436,5 +438,38 @@ func TestQuickAdmissibleMeansDeadlineMet(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGenerateCtxCancellation(t *testing.T) {
+	env := mixedEnv()
+	g := &Generator{Env: env}
+	job := fig2Job(40)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.GenerateCtx(ctx, job, S1, criticalworks.EmptyCalendars(env), 0); err == nil {
+		t.Fatal("cancelled context produced a strategy")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+
+	// A live context reproduces Generate byte for byte.
+	want, err := g.Generate(job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.GenerateCtx(context.Background(), job, S1, criticalworks.EmptyCalendars(env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Distributions) != len(want.Distributions) || got.Evaluations != want.Evaluations {
+		t.Fatal("GenerateCtx with background context diverged from Generate")
+	}
+	for i := range want.Distributions {
+		w, g2 := want.Distributions[i], got.Distributions[i]
+		if w.Level != g2.Level || w.Cost != g2.Cost || w.Finish != g2.Finish {
+			t.Fatalf("level %d differs", i)
+		}
 	}
 }
