@@ -18,8 +18,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +34,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/service"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -51,12 +54,36 @@ func main() {
 		mtbf         = flag.Float64("mtbf", 0, "mean model time between node outages (0 disables outages)")
 		mttr         = flag.Float64("mttr", 50, "mean outage duration")
 		faultHorizon = flag.Int64("fault-horizon", 1_000_000, "model-time horizon of the outage schedule")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
+		spansPath    = flag.String("spans", "", "write scheduling spans as JSON lines to this file, - for stderr")
+		tracePath    = flag.String("trace", "", "write VO lifecycle events as JSON lines to this file, - for stderr; sharing the -spans path interleaves both streams line-atomically")
 	)
 	flag.Parse()
 
 	env, err := loadEnv(*envPath, *domains, *seed)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
+	}
+
+	// The span and event sinks may share one file: openSink deduplicates
+	// by path and wraps the writer so each JSON line lands in one
+	// serialized Write — the merged stream stays parseable.
+	sinks := map[string]io.Writer{}
+	spanSink, err := openSink(sinks, *spansPath)
+	if err != nil {
+		log.Fatalf("gridd: spans: %v", err)
+	}
+	traceSink, err := openSink(sinks, *tracePath)
+	if err != nil {
+		log.Fatalf("gridd: trace: %v", err)
+	}
+	var spans *telemetry.Tracer
+	if spanSink != nil {
+		spans = telemetry.NewTracer(spanSink)
+	}
+	var tracer metasched.Tracer
+	if traceSink != nil {
+		tracer = metasched.NewJSONLTracer(traceSink)
 	}
 
 	cfg := service.Config{
@@ -68,6 +95,8 @@ func main() {
 		Sched: metasched.Config{
 			Seed:    *seed,
 			Workers: *workers,
+			Tracer:  tracer,
+			Spans:   spans,
 			Faults: faults.Config{
 				MTBF:         *mtbf,
 				MTTR:         *mttr,
@@ -89,7 +118,18 @@ func main() {
 	}
 	srv.Start()
 
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *listen, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("gridd: serving on %s (%d nodes, %d domains, queue %d)",
@@ -115,6 +155,29 @@ func main() {
 	m := srv.Metrics()
 	log.Printf("gridd: drained — accepted=%d completed=%d rejected=%d drained=%d",
 		m.Accepted, m.Completed, m.Rejected, m.Drained)
+}
+
+// openSink opens (or reuses) a line-oriented JSONL sink. Identical paths
+// return the same serialized writer, so spans and VO events interleave in
+// one file without torn lines. "" disables the sink; "-" means stderr.
+func openSink(open map[string]io.Writer, path string) (io.Writer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if w, ok := open[path]; ok {
+		return w, nil
+	}
+	var raw io.Writer = os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		raw = f
+	}
+	w := telemetry.NewSyncWriter(raw)
+	open[path] = w
+	return w, nil
 }
 
 // loadEnv reads a jobio environment or generates the synthetic one.

@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +35,17 @@ func main() {
 		mttr       = flag.Float64("mttr", 20, "mean outage duration in ticks")
 		taskFail   = flag.Float64("task-fail-rate", 0.05, "per-activation probability a running job loses a task")
 		maxRetries = flag.Int("max-retries", 2, "bounded retry attempts before falling back to remaining supporting levels")
+
+		telemetryOut = flag.String("telemetry", "", "dump a final metrics-registry snapshot (Prometheus text format) to this file, or - for stderr; reports on stdout are unaffected")
 	)
 	flag.Parse()
+
+	// The registry snapshot goes to stderr or a file, never stdout: the
+	// experiment reports must stay byte-identical with telemetry on.
+	var reg *telemetry.Registry
+	if *telemetryOut != "" {
+		reg = telemetry.NewRegistry()
+	}
 
 	if *list {
 		fmt.Println("experiments (see DESIGN.md §4 and EXPERIMENTS.md):")
@@ -60,16 +71,18 @@ func main() {
 	fig3Cfg := func(jobs int) experiments.Fig3Config {
 		cfg := experiments.DefaultFig3(*seed, jobs)
 		cfg.Workers = *workers
+		cfg.Telemetry = reg
 		return cfg
 	}
 	fig4Cfg := func() experiments.Fig4Config {
 		cfg := experiments.DefaultFig4(*seed, fig4Scale(*jobs))
 		cfg.Workers = *workers
+		cfg.Telemetry = reg
 		return cfg
 	}
 	runners := map[string]func() (*experiments.Report, error){
 		"fig2": func() (*experiments.Report, error) {
-			return experiments.Fig2With(*workers)
+			return experiments.Fig2Telemetry(*workers, reg)
 		},
 		"fig3a": func() (*experiments.Report, error) {
 			return experiments.Fig3a(fig3Cfg(*jobs))
@@ -109,6 +122,7 @@ func main() {
 			cfg.TaskFailRate = *taskFail
 			cfg.MaxRetries = *maxRetries
 			cfg.Workers = *workers
+			cfg.Telemetry = reg
 			if *mtbf > 0 {
 				// A fixed MTBF pins the sweep to the baseline plus the one
 				// availability level it implies.
@@ -146,6 +160,27 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if reg != nil {
+		if err := dumpTelemetry(reg, *telemetryOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// dumpTelemetry writes the final registry snapshot to path ("-" = stderr).
+func dumpTelemetry(reg *telemetry.Registry, path string) error {
+	var w io.Writer = os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return reg.WritePrometheus(w)
 }
 
 // fig4Scale caps the flow length: the VO experiment is an order of

@@ -30,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // State is a breaker's position in the quarantine cycle.
@@ -78,6 +79,12 @@ type Config struct {
 	// per-name stream from it, so a fleet of domains jitters independently
 	// but reproducibly.
 	Seed uint64
+
+	// Telemetry, when non-nil, exports each breaker's trips, observed
+	// failures and current state as grid_breaker_* series labelled by the
+	// breaker name. The handles are acquired once at New, so a state
+	// transition costs one atomic op; nil disables export entirely.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) threshold() int {
@@ -124,15 +131,30 @@ type Breaker struct {
 	// Stats.
 	totalTrips    int
 	totalFailures int
+
+	// Telemetry handles, acquired once at New; all nil (and therefore
+	// free no-ops) when Config.Telemetry is nil.
+	tripsC *telemetry.Counter
+	failsC *telemetry.Counter
+	stateG *telemetry.Gauge
 }
 
 // New returns a closed breaker named name.
 func New(name string, cfg Config) *Breaker {
-	return &Breaker{
+	b := &Breaker{
 		name: name,
 		cfg:  cfg,
 		r:    rng.New(cfg.Seed).Split(hashName(name)),
 	}
+	if reg := cfg.Telemetry; reg != nil {
+		b.tripsC = reg.Counter("grid_breaker_trips_total",
+			"times the breaker opened", telemetry.L("name", name))
+		b.failsC = reg.Counter("grid_breaker_failures_total",
+			"failures the breaker observed", telemetry.L("name", name))
+		b.stateG = reg.Gauge("grid_breaker_state",
+			"breaker state: 0 closed, 1 open, 2 half-open", telemetry.L("name", name))
+	}
+	return b
 }
 
 // hashName folds a name into a split label (FNV-1a).
@@ -173,6 +195,7 @@ func (b *Breaker) Allow(now simtime.Time) bool {
 			b.state = HalfOpen
 			b.probes = 0
 			b.inflight = false
+			b.stateG.Set(2)
 		}
 		if b.inflight {
 			return false
@@ -196,6 +219,7 @@ func (b *Breaker) Success(now simtime.Time) {
 			b.fails = 0
 			b.trips = 0
 			b.probes = 0
+			b.stateG.Set(0)
 		}
 	case Open:
 		// A success from work admitted before the trip; it neither closes
@@ -209,6 +233,7 @@ func (b *Breaker) Success(now simtime.Time) {
 // jittered window.
 func (b *Breaker) Failure(now simtime.Time) {
 	b.totalFailures++
+	b.failsC.Inc()
 	switch b.State(now) {
 	case Closed:
 		b.fails++
@@ -229,6 +254,8 @@ func (b *Breaker) Failure(now simtime.Time) {
 func (b *Breaker) trip(now simtime.Time) {
 	b.trips++
 	b.totalTrips++
+	b.tripsC.Inc()
+	b.stateG.Set(1)
 	window := faults.ExpBackoff(b.cfg.openBase(), b.trips, b.cfg.openMax())
 	window = faults.Jitter(window, b.cfg.JitterFrac, b.r)
 	b.state = Open

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dag"
 	"repro/internal/data"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/resource"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // Placement is one line of a Distribution: a task bound to a node for a
@@ -140,6 +142,19 @@ type Options struct {
 	// InfeasibleError). nil means no cancellation — byte-identical to
 	// builds before the hook existed.
 	Ctx context.Context
+	// Telemetry, when non-nil, receives the build's runtime metrics
+	// (grid_criticalworks_*: outcome counters, evaluation and collision
+	// totals, wall-clock latency). Telemetry only observes — results are
+	// byte-identical with it on or off — and a nil registry costs the
+	// build nothing (zero allocations on the hot path).
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, traces the build: one root span per Build,
+	// a child per margin attempt, one per critical work, and one per DP
+	// phase (ideal/actual). nil disables tracing at zero cost.
+	Spans *telemetry.Tracer
+	// ParentSpan links the build's root span under the caller's span;
+	// when zero, the parent is read from Ctx (telemetry.SpanFromContext).
+	ParentSpan telemetry.SpanID
 }
 
 // Calendars is the mutable scheduling view: one calendar per node. Build
@@ -202,6 +217,10 @@ type builder struct {
 	colls  []Collision
 	evals  int64
 
+	// span is the enclosing margin attempt's span ID; 0 when tracing is
+	// off (per-chain and per-DP-phase spans hang under it).
+	span telemetry.SpanID
+
 	bestUp   []simtime.Time // earliest-start offset per task (margin-scaled)
 	bestDown []simtime.Time // remaining time after task finish (margin-scaled)
 }
@@ -219,6 +238,64 @@ var margins = []float64{1, 1.5, 2, 3, 4}
 // calendar view and returns the resulting Distribution. The view is
 // mutated: every placement is reserved under Owner{JobName, taskName}.
 func Build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options) (*Schedule, error) {
+	if opt.Telemetry == nil && opt.Spans == nil {
+		return build(env, cals, job, opt)
+	}
+	var start time.Time
+	if opt.Telemetry != nil {
+		start = time.Now()
+	}
+	name := opt.JobName
+	if name == "" {
+		name = job.Name
+	}
+	parent := opt.ParentSpan
+	if parent == 0 && opt.Ctx != nil {
+		parent = telemetry.SpanFromContext(opt.Ctx)
+	}
+	root := opt.Spans.Start("criticalworks.build", parent)
+	root.SetStr("job", name)
+	if root != nil {
+		opt.ParentSpan = root.ID()
+	}
+	sched, err := build(env, cals, job, opt)
+	var evals, colls int64
+	if sched != nil {
+		evals = sched.Evaluations
+		colls = int64(len(sched.Collisions))
+	}
+	if opt.Telemetry != nil {
+		opt.Telemetry.Counter("grid_criticalworks_builds_total",
+			"critical-works builds by outcome", telemetry.L("result", buildResult(err))).Inc()
+		opt.Telemetry.Counter("grid_criticalworks_evaluations_total",
+			"DP slot-fitting probes performed").Add(uint64(evals))
+		opt.Telemetry.Counter("grid_criticalworks_collisions_total",
+			"resource collisions between critical works").Add(uint64(colls))
+		opt.Telemetry.Histogram("grid_criticalworks_build_seconds",
+			"wall-clock latency of one critical-works build", nil).Observe(telemetry.Since(start))
+	}
+	root.SetStr("result", buildResult(err)).SetInt("evaluations", evals).SetInt("collisions", colls).End()
+	return sched, err
+}
+
+// buildResult classifies a build's outcome for the telemetry counters.
+func buildResult(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	default:
+		var inf *InfeasibleError
+		if errors.As(err, &inf) {
+			return "infeasible"
+		}
+		return "error"
+	}
+}
+
+// build is the uninstrumented core of Build.
+func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options) (*Schedule, error) {
 	if opt.JobName == "" {
 		opt.JobName = job.Name
 	}
@@ -265,7 +342,14 @@ func Build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options)
 			margin: mg,
 			placed: make(map[dag.TaskID]Placement, job.NumTasks()),
 		}
+		var asp *telemetry.Span
+		if opt.Spans != nil {
+			asp = opt.Spans.Start("criticalworks.attempt", opt.ParentSpan)
+			asp.SetInt("margin_pct", int64(mg*100))
+			b.span = asp.ID()
+		}
 		sched, err := b.buildOnce()
+		asp.SetStr("result", buildResult(err)).SetInt("evaluations", b.evals).End()
 		evals += b.evals
 		if err == nil {
 			sched.Evaluations = evals

@@ -5,6 +5,7 @@ import (
 	"repro/internal/economy"
 	"repro/internal/resource"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // placeChain schedules one critical work: it computes the chain's ideal
@@ -13,7 +14,15 @@ import (
 // every task whose ideal slot is already reserved, and books the actual
 // reservations.
 func (b *builder) placeChain(chain dag.Chain) error {
-	ideal, ok := b.runDP(chain, true)
+	var chainSpan *telemetry.Span
+	if b.opt.Spans != nil {
+		evals0 := b.evals
+		chainSpan = b.opt.Spans.Start("criticalworks.chain", b.span)
+		chainSpan.SetInt("tasks", int64(len(chain.Tasks)))
+		defer func() { chainSpan.SetInt("evaluations", b.evals-evals0).End() }()
+	}
+
+	ideal, ok := b.dpPhase(chainSpan, "ideal", chain, true)
 	if !ok {
 		return &InfeasibleError{Job: b.opt.JobName, Task: b.job.Task(chain.Tasks[0]).Name}
 	}
@@ -26,7 +35,7 @@ func (b *builder) placeChain(chain dag.Chain) error {
 	case ResolveDelay:
 		actual, ok = b.delayOnIdealNodes(chain, ideal)
 	default:
-		actual, ok = b.runDP(chain, false)
+		actual, ok = b.dpPhase(chainSpan, "actual", chain, false)
 	}
 	if !ok {
 		return &InfeasibleError{Job: b.opt.JobName, Task: b.job.Task(chain.Tasks[0]).Name}
@@ -62,6 +71,22 @@ func (b *builder) placeChain(chain dag.Chain) error {
 		}
 	}
 	return nil
+}
+
+// dpPhase runs one DP pass under a span when tracing is on; with tracing
+// off it is exactly runDP.
+func (b *builder) dpPhase(parent *telemetry.Span, phase string, chain dag.Chain, ignoreCalendar bool) ([]Placement, bool) {
+	if b.opt.Spans == nil {
+		return b.runDP(chain, ignoreCalendar)
+	}
+	sp := b.opt.Spans.Start("criticalworks.dp", parent.ID())
+	sp.SetStr("phase", phase)
+	out, ok := b.runDP(chain, ignoreCalendar)
+	if !ok {
+		sp.SetStr("result", "infeasible")
+	}
+	sp.End()
+	return out, ok
 }
 
 // cell is one DP state: the best (cost, finish) for "chain prefix ending

@@ -35,7 +35,7 @@ func AblationCollision(cfg Fig3Config) (*Report, error) {
 		cost       int64
 	}
 	run := func(mode criticalworks.CollisionMode) (*stats, error) {
-		sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost, Mode: mode}
+		sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost, Mode: mode, Telemetry: cfg.Telemetry}
 		streams := fig3Background(cfg).SplitN(cfg.Jobs)
 		outs, err := parallel.Map(cfg.Workers, cfg.Jobs, func(i int) (jobOutcome, error) {
 			job := gen.Job(i)
@@ -104,7 +104,7 @@ func AblationLevels(cfg Fig3Config) (*Report, error) {
 	wcfg := fig3WorkloadConfig(cfg)
 	gen := workload.New(wcfg)
 	env := gen.Environment(1)
-	sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost}
+	sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost, Telemetry: cfg.Telemetry}
 
 	type stats struct {
 		admissible  int

@@ -12,6 +12,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,9 @@ type AvailabilityConfig struct {
 	// Trace, when set, receives every cell's JSONL VO trace, flushed in
 	// cell (row) order after the pool drains.
 	Trace io.Writer
+	// Telemetry, when non-nil, receives the hierarchy's runtime metrics
+	// from every cell. Observe-only: reports and traces stay byte-identical.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultAvailability returns the calibrated sweep configuration.
@@ -97,6 +101,7 @@ func runAvailability(cfg AvailabilityConfig, typ strategy.Type, avail float64, t
 		Faults:    fcfg,
 		Workers:   cfg.Workers,
 		Tracer:    tracer,
+		Telemetry: cfg.Telemetry,
 	})
 	for _, a := range flow {
 		vo.Submit(a.Job, typ, a.At)

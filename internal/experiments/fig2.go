@@ -8,6 +8,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/resource"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 )
 
 // Fig2Job builds the paper's Fig. 2(a) example: tasks P1..P6 with the §3
@@ -54,7 +55,12 @@ func Fig2() (*Report, error) { return Fig2With(1) }
 // Fig2With is Fig2 with the strategy's per-level builds bounded by the
 // given worker count (≤ 0 means one worker per CPU). Every worker count
 // produces the byte-identical report.
-func Fig2With(workers int) (*Report, error) {
+func Fig2With(workers int) (*Report, error) { return Fig2Telemetry(workers, nil) }
+
+// Fig2Telemetry is Fig2With with the builds additionally reporting into
+// reg (nil disables metrics). Telemetry never changes the report: output
+// is byte-identical with reg nil or set, at any worker count.
+func Fig2Telemetry(workers int, reg *telemetry.Registry) (*Report, error) {
 	r := newReport("fig2", "worked example: critical works and distributions (paper §3, Fig. 2)")
 	job := Fig2Job()
 	env := Fig2Env()
@@ -77,7 +83,7 @@ func Fig2With(workers int) (*Report, error) {
 	// from the Gantt's 20 to 24 so more than one estimation level is
 	// feasible and the strategy actually contains alternatives (with four
 	// nodes and full transfers, the tier-2 level needs 21 ticks).
-	gen := &strategy.Generator{Env: env, Workers: parallel.Resolve(workers)}
+	gen := &strategy.Generator{Env: env, Workers: parallel.Resolve(workers), Telemetry: reg}
 	st, err := gen.Generate(job.WithDeadline(24), strategy.S2, criticalworks.EmptyCalendars(env), 0)
 	if err != nil {
 		return nil, err
@@ -111,7 +117,7 @@ func Fig2With(workers int) (*Report, error) {
 		resource.NewNode(1, "node-4", 0.25, 0.25, "example"),
 	})
 	sched, err := criticalworks.Build(constrained, criticalworks.EmptyCalendars(constrained),
-		job.WithDeadline(80), criticalworks.Options{})
+		job.WithDeadline(80), criticalworks.Options{Telemetry: reg})
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/simtime"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -52,6 +53,10 @@ type Fig3Config struct {
 	// draws from its own pre-split RNG stream and the per-job tallies are
 	// merged in job order.
 	Workers int
+	// Telemetry, when non-nil, receives grid_strategy_* and
+	// grid_criticalworks_* runtime metrics from every build. Observe-only:
+	// reports are byte-identical with or without it, at any worker count.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFig3 returns the calibrated configuration (see EXPERIMENTS.md for
@@ -157,7 +162,7 @@ func runFig3(cfg Fig3Config) (*fig3Run, error) {
 	// MinCost reproduces the paper's economics: strategies drift to the
 	// cheapest (slowest) nodes their deadline and data policy allow, which
 	// is what shapes both the admissibility rates and the collision split.
-	sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost}
+	sgen := &strategy.Generator{Env: env, Objective: criticalworks.MinCost, Telemetry: cfg.Telemetry}
 
 	tallies, err := parallel.Map(cfg.Workers, cfg.Jobs, func(i int) (fig3JobTally, error) {
 		var tally fig3JobTally

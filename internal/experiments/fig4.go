@@ -13,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -41,6 +42,10 @@ type Fig4Config struct {
 	// in cell order after the pool drains, so the stream is identical at
 	// any worker count.
 	Trace io.Writer
+	// Telemetry, when non-nil, receives the whole hierarchy's runtime
+	// metrics (grid_metasched_*, grid_strategy_*, grid_criticalworks_*)
+	// from every cell. Observe-only: reports and traces stay byte-identical.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFig4 returns the calibrated configuration.
@@ -111,6 +116,7 @@ func runFig4Type(cfg Fig4Config, typ strategy.Type, tracer metasched.Tracer) (*f
 		Seed:            cfg.Seed,
 		Workers:         cfg.Workers,
 		Tracer:          tracer,
+		Telemetry:       cfg.Telemetry,
 	})
 	for _, a := range flow {
 		vo.Submit(a.Job, typ, a.At)

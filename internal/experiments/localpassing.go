@@ -41,6 +41,7 @@ func LocalPassing(cfg Fig4Config) (*Report, error) {
 		Objective: criticalworks.MinCost,
 		Seed:      cfg.Seed,
 		Workers:   cfg.Workers,
+		Telemetry: cfg.Telemetry,
 	})
 	flow := gen.Flow(0, cfg.Jobs, 0)
 	for _, a := range flow {

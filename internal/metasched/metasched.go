@@ -43,6 +43,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/criticalworks"
 	"repro/internal/dag"
@@ -54,6 +55,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the virtual organization simulation.
@@ -99,6 +101,18 @@ type Config struct {
 
 	// Tracer, when set, receives every VO lifecycle event.
 	Tracer Tracer
+
+	// Telemetry, when non-nil, receives runtime metrics from the whole
+	// hierarchy: grid_metasched_* event counters and generation latency
+	// here, grid_strategy_* and grid_criticalworks_* from the layers
+	// below (the registry is forwarded to every domain's generator).
+	// Telemetry only observes — a run with it enabled is byte-identical
+	// to one without, and nil costs the simulation path nothing.
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, traces the scheduling work: metasched.adopt
+	// and metasched.fallback spans with the strategy/critical-works
+	// build spans beneath them. nil disables tracing at zero cost.
+	Spans *telemetry.Tracer
 
 	// Seed drives the injector's randomness.
 	Seed uint64
@@ -319,6 +333,8 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 				StorageNode: pool[0],
 				Objective:   cfg.Objective,
 				Workers:     cfg.Workers,
+				Telemetry:   cfg.Telemetry,
+				Spans:       cfg.Spans,
 			},
 		}
 		vo.managers = append(vo.managers, m)
@@ -403,6 +419,10 @@ func (vo *VO) arrive(job *dag.Job, typ strategy.Type) {
 	res.Domain = m.domain
 	aj.manager = m
 	aj.triedDom[m.domain] = true
+	if vo.cfg.Telemetry != nil {
+		vo.cfg.Telemetry.Counter("grid_metasched_placements_total",
+			"jobs placed by the metascheduler, per domain", telemetry.L("domain", m.domain)).Inc()
+	}
 	vo.trace(EventArrive, job.Name, m.domain, nil)
 	vo.active[job.Name] = aj
 	m.adopt(aj, true)
@@ -470,9 +490,36 @@ func (vo *VO) leastLoaded(except map[string]bool) *JobManager {
 // activates the cheapest admissible distribution. initial marks the very
 // first generation, which defines the job's admissibility record.
 func (m *JobManager) adopt(aj *activeJob, initial bool) {
-	now := m.vo.engine.Now()
-	snap := criticalworks.Snapshot(m.vo.env)
-	st, err := m.gen.GenerateCtx(m.vo.buildCtx(aj.result.Job.Name), aj.result.Job, aj.result.Type, snap, now)
+	vo := m.vo
+	now := vo.engine.Now()
+	snap := criticalworks.Snapshot(vo.env)
+	ctx := vo.buildCtx(aj.result.Job.Name)
+	var sp *telemetry.Span
+	var t0 time.Time
+	if vo.cfg.Telemetry != nil || vo.cfg.Spans != nil {
+		t0 = time.Now()
+		sp = vo.cfg.Spans.Start("metasched.adopt", telemetry.SpanFromContext(ctx))
+		if sp != nil {
+			sp.SetStr("job", aj.result.Job.Name).SetStr("domain", m.domain)
+			if initial {
+				sp.SetInt("initial", 1)
+			}
+			ctx = telemetry.ContextWithSpan(ctx, sp.ID())
+		}
+	}
+	st, err := m.gen.GenerateCtx(ctx, aj.result.Job, aj.result.Type, snap, now)
+	if vo.cfg.Telemetry != nil {
+		vo.cfg.Telemetry.Histogram("grid_metasched_adopt_seconds",
+			"wall time of one adopt (strategy generation) pass", nil).Observe(telemetry.Since(t0))
+	}
+	if sp != nil {
+		if err != nil {
+			sp.SetStr("result", "error")
+		} else {
+			sp.SetStr("result", "ok")
+		}
+		sp.End()
+	}
 	if err != nil {
 		// Structural failures cannot happen for generator-produced jobs;
 		// treat as rejection rather than crash the simulation.
@@ -645,17 +692,32 @@ func (m *JobManager) taskFailed(aj *activeJob, detail string) {
 // fallback re-anchors the next supporting level at the current time; when
 // the strategy is exhausted the job goes back to the metascheduler.
 func (m *JobManager) fallback(aj *activeJob) {
-	now := m.vo.engine.Now()
+	vo := m.vo
+	now := vo.engine.Now()
+	var sp *telemetry.Span
+	tried := 0
+	if vo.cfg.Spans != nil {
+		sp = vo.cfg.Spans.Start("metasched.fallback", 0)
+		sp.SetStr("job", aj.result.Job.Name).SetStr("domain", m.domain)
+		defer func() { sp.SetInt("levels_tried", int64(tried)).End() }()
+	}
 	// Try remaining levels in the cost order of the original generation.
 	for {
 		next := aj.strat.AdmissibleAfter(aj.used)
 		if next == nil {
-			m.vo.reallocate(aj)
+			vo.reallocate(aj)
 			return
 		}
 		aj.used[next.Level] = true
-		snap := criticalworks.Snapshot(m.vo.env)
-		d, partial, err := m.gen.BuildLevelCtx(m.vo.buildCtx(aj.result.Job.Name), aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap, now)
+		tried++
+		snap := criticalworks.Snapshot(vo.env)
+		// buildCtx is re-acquired per level: each call arms a fresh
+		// build-timeout for the job, exactly as before instrumentation.
+		ctx := vo.buildCtx(aj.result.Job.Name)
+		if sp != nil {
+			ctx = telemetry.ContextWithSpan(ctx, sp.ID())
+		}
+		d, partial, err := m.gen.BuildLevelCtx(ctx, aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap, now)
 		if err != nil || d == nil || !d.Admissible {
 			if partial != nil {
 				aj.result.Evaluations += partial.Evaluations

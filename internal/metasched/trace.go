@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/resource"
 	"repro/internal/simtime"
+	"repro/internal/telemetry"
 )
 
 // EventKind classifies a trace event.
@@ -115,8 +116,14 @@ func (t *MemoryTracer) Count(kind EventKind) int {
 	return n
 }
 
-// trace emits an event if a tracer is configured.
+// trace emits an event if a tracer is configured. The telemetry counter
+// fires regardless of the Tracer, so /metrics shows lifecycle rates even
+// when nobody captures the full event stream.
 func (vo *VO) trace(kind EventKind, job, domain string, f func(*Event)) {
+	if vo.cfg.Telemetry != nil {
+		vo.cfg.Telemetry.Counter("grid_metasched_events_total",
+			"VO lifecycle events by kind", telemetry.L("kind", string(kind))).Inc()
+	}
 	if vo.cfg.Tracer == nil {
 		return
 	}

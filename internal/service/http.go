@@ -31,7 +31,8 @@ type errorBody struct {
 //	POST /v1/jobs      — submit a job (202, or 400/409/422/429/503)
 //	GET  /v1/jobs      — list all job records
 //	GET  /v1/jobs/{id} — one job record (404 when unknown)
-//	GET  /v1/metrics   — counters snapshot
+//	GET  /v1/metrics   — counters snapshot (JSON, legacy)
+//	GET  /metrics      — Prometheus text format, streamed from the registry
 //	GET  /healthz      — liveness (always 200 while the process runs)
 //	GET  /readyz       — readiness (503 while draining)
 func (s *Server) Handler() http.Handler {
@@ -40,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -102,6 +104,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handlePrometheus streams the registry in Prometheus text format. Unlike
+// the legacy JSON handler it builds no intermediate document per scrape:
+// WritePrometheus walks the live atomics straight into a buffered writer.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.telem.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

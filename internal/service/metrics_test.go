@@ -1,0 +1,129 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusEndpoint scrapes GET /metrics after a short job lifecycle
+// and checks the exposition: correct content type, the service counters
+// present with the values the legacy JSON snapshot agrees with, and the
+// scheduler-layer families showing up through the shared registry.
+func TestPrometheusEndpoint(t *testing.T) {
+	s := newServer(t, Config{QueueCap: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, err := s.Submit(wireJob("m1", 60), "S1", 0); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := s.Submit(wireJob("m2", 60), "S1", 0); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s.Process(2)
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	met := s.Metrics()
+	for line, want := range map[string]uint64{
+		"grid_service_submitted_total": met.Submitted,
+		"grid_service_accepted_total":  met.Accepted,
+		"grid_service_completed_total": met.Completed,
+	} {
+		wantLine := line + " " + strconv.FormatUint(want, 10) + "\n"
+		if !strings.Contains(text, wantLine) {
+			t.Errorf("exposition missing %q (legacy snapshot says %d)\n%s", wantLine, want, text)
+		}
+	}
+	// The scheduler layer reports into the same registry the server owns.
+	for _, family := range []string{
+		"grid_metasched_events_total",
+		"grid_criticalworks_builds_total",
+		"grid_service_queue_wait_seconds_count",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition missing scheduler family %q\n%s", family, text)
+		}
+	}
+}
+
+// BenchmarkMetricsScrape backs the rebuild-per-scrape fix: the Prometheus
+// endpoint streams straight from the registry's live atomics into the
+// response writer — no intermediate metrics document is rebuilt per poll,
+// so scrape cost is a function of series count only, never of how much
+// traffic moved the counters. The allocs/op figure is the regression
+// guard; it must stay bounded as instrumentation grows.
+func BenchmarkMetricsScrape(b *testing.B) {
+	s, err := New(Config{Env: testEnv(), QueueCap: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := s.Submit(wireJob(benchName(i), 60), "S1", i%3); err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+	}
+	s.Process(32)
+	h := s.Handler()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("scrape = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkLegacyJSON measures the old JSON handler, which re-marshals
+// its whole counters struct on every poll — kept as the baseline the
+// Prometheus endpoint's per-series cost is judged against (the registry
+// exposes ~20× more series than the legacy snapshot's eight fields).
+func BenchmarkLegacyJSON(b *testing.B) {
+	s, err := New(Config{Env: testEnv(), QueueCap: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := s.Submit(wireJob(benchName(i), 60), "S1", i%3); err != nil {
+			b.Fatalf("submit: %v", err)
+		}
+	}
+	s.Process(32)
+	h := s.Handler()
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("scrape = %d", rec.Code)
+		}
+	}
+}
+
+func benchName(i int) string { return "bench-" + strconv.Itoa(i) }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simtime"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 )
 
 // Job lifecycle states as reported by the API.
@@ -90,6 +91,11 @@ type Config struct {
 	// RetryAfter is the hint returned with backpressure rejections.
 	// Default 1s.
 	RetryAfter time.Duration
+	// Telemetry is the metrics registry backing GET /metrics. nil makes
+	// New create a private one, so the endpoint always works. The same
+	// registry is forwarded to the VO hierarchy (Sched.Telemetry) and the
+	// circuit breakers unless those configs already carry their own.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) queueCap() int {
@@ -174,6 +180,7 @@ type entry struct {
 	job  *dag.Job // deadline still relative; rebased at arrival
 	wire jobio.Job
 	typ  strategy.Type
+	enq  time.Time // wall-clock enqueue instant, for the queue-wait histogram
 }
 
 // Server is the long-running scheduler service.
@@ -183,25 +190,61 @@ type Server struct {
 	vo       *metasched.VO
 	breakers *breaker.Set // nil when disabled; engine goroutine only
 
+	telem *telemetry.Registry // never nil after New
+	spans *telemetry.Tracer   // nil unless Sched.Spans configured
+	th    telemetryHandles
+
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	queue     []*entry
-	records   map[string]*Record
-	order     []string // record IDs in submission order
-	seq       uint64
-	met       Metrics
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*entry
+	records map[string]*Record
+	order   []string // record IDs in submission order
+	seq     uint64
+	met     Metrics
 	// engineNow/engineFired are the engine clock as of the last completed
 	// processing step, published under mu because the live engine is owned
 	// by the loop goroutine and must not be read from handlers.
 	engineNow   simtime.Time
 	engineFired uint64
 	draining    bool
-	buildCtxs map[string]context.CancelFunc // per scheduled job
+	buildCtxs   map[string]context.CancelFunc // per scheduled job
 
 	loopDone chan struct{} // closed when the engine loop exits; nil before Start
+}
+
+// telemetryHandles caches the service's registry handles so every counter
+// bump is one atomic op — the registry map is never consulted on the
+// request or engine path.
+type telemetryHandles struct {
+	submitted, accepted, completed, rejected *telemetry.Counter
+	shed, infeasible, overloaded, drained    *telemetry.Counter
+	queueDepth, queueHighWater               *telemetry.Gauge
+	engineNow, eventsFired                   *telemetry.Gauge
+	queueWait                                *telemetry.Histogram
+}
+
+func newTelemetryHandles(reg *telemetry.Registry) telemetryHandles {
+	c := func(name, help string) *telemetry.Counter { return reg.Counter(name, help) }
+	g := func(name, help string) *telemetry.Gauge { return reg.Gauge(name, help) }
+	return telemetryHandles{
+		submitted:      c("grid_service_submitted_total", "jobs offered to the admission queue"),
+		accepted:       c("grid_service_accepted_total", "jobs admitted into the queue"),
+		completed:      c("grid_service_completed_total", "jobs that ran to plan"),
+		rejected:       c("grid_service_rejected_total", "jobs that ended rejected (any reason)"),
+		shed:           c("grid_service_shed_total", "queued jobs displaced by higher-priority arrivals"),
+		infeasible:     c("grid_service_infeasible_total", "submissions rejected by deadline admission control"),
+		overloaded:     c("grid_service_overloaded_total", "submissions refused with backpressure"),
+		drained:        c("grid_service_drained_total", "queued jobs snapshotted at shutdown"),
+		queueDepth:     g("grid_service_queue_depth", "current admission-queue length"),
+		queueHighWater: g("grid_service_queue_high_water", "maximum admission-queue length observed"),
+		engineNow:      g("grid_service_engine_now", "model time as of the last completed step"),
+		eventsFired:    g("grid_service_engine_events_fired", "simulation events fired so far"),
+		queueWait: reg.Histogram("grid_service_queue_wait_seconds",
+			"wall time jobs spent in the admission queue", nil),
+	}
 }
 
 // New builds a server over env. The engine loop is not started; call Start,
@@ -218,11 +261,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.telem = cfg.Telemetry
+	if s.telem == nil {
+		s.telem = telemetry.NewRegistry()
+	}
+	s.th = newTelemetryHandles(s.telem)
+	s.spans = cfg.Sched.Spans
 	if cfg.Breaker != nil {
-		s.breakers = breaker.NewSet(*cfg.Breaker)
+		bc := *cfg.Breaker
+		if bc.Telemetry == nil {
+			bc.Telemetry = s.telem
+		}
+		s.breakers = breaker.NewSet(bc)
 	}
 
 	sched := cfg.Sched
+	if sched.Telemetry == nil {
+		sched.Telemetry = s.telem
+	}
 	userTracer := sched.Tracer
 	sched.Tracer = metasched.TracerFunc(func(e metasched.Event) {
 		s.onEvent(e)
@@ -299,12 +355,14 @@ func (s *Server) onEvent(e metasched.Event) {
 		rec.State = StateCompleted
 		rec.Finish = now
 		s.met.Completed++
+		s.th.completed.Inc()
 		s.releaseBuildCtxLocked(rec.ID)
 	case metasched.EventReject:
 		rec.State = StateRejected
 		rec.Reason = "no feasible allocation"
 		rec.Finish = now
 		s.met.Rejected++
+		s.th.rejected.Inc()
 		s.releaseBuildCtxLocked(rec.ID)
 	}
 }
@@ -331,6 +389,25 @@ func minDeadline(job *dag.Job) simtime.Time {
 // when the job is handed to the engine. priority orders overload shedding
 // (higher is more important).
 func (s *Server) Submit(wire jobio.Job, strategyName string, priority int) (*Record, error) {
+	if s.spans == nil {
+		return s.submit(wire, strategyName, priority)
+	}
+	sp := s.spans.Start("service.submit", 0)
+	sp.SetStr("job", wire.Name)
+	rec, err := s.submit(wire, strategyName, priority)
+	outcome := "accepted"
+	if err != nil {
+		outcome = "error"
+		if se, ok := err.(*SubmitError); ok {
+			outcome = se.Code
+		}
+	}
+	sp.SetStr("outcome", outcome).End()
+	return rec, err
+}
+
+// submit is Submit without the admission span.
+func (s *Server) submit(wire jobio.Job, strategyName string, priority int) (*Record, error) {
 	typ, err := strategy.ParseType(strategyName)
 	if err != nil {
 		return nil, &SubmitError{Code: CodeInvalid, Reason: err.Error()}
@@ -350,12 +427,16 @@ func (s *Server) Submit(wire jobio.Job, strategyName string, priority int) (*Rec
 		s.met.Infeasible++
 		s.met.Rejected++
 		s.mu.Unlock()
+		s.th.submitted.Inc()
+		s.th.infeasible.Inc()
+		s.th.rejected.Inc()
 		return rec, &SubmitError{Code: CodeInfeasible, Reason: rec.Reason}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.met.Submitted++
+	s.th.submitted.Inc()
 	if s.draining {
 		return nil, &SubmitError{Code: CodeDraining, Reason: "service is draining; not accepting work"}
 	}
@@ -366,6 +447,7 @@ func (s *Server) Submit(wire jobio.Job, strategyName string, priority int) (*Rec
 		victim := s.shedCandidateLocked(priority)
 		if victim < 0 {
 			s.met.Overloaded++
+			s.th.overloaded.Inc()
 			return nil, &SubmitError{
 				Code:       CodeOverloaded,
 				Reason:     fmt.Sprintf("admission queue full (%d)", s.cfg.queueCap()),
@@ -376,9 +458,12 @@ func (s *Server) Submit(wire jobio.Job, strategyName string, priority int) (*Rec
 	}
 	rec := s.newRecordLocked(wire.Name, typ, priority, StateQueued)
 	s.met.Accepted++
-	s.queue = append(s.queue, &entry{rec: rec, job: job, wire: wire, typ: typ})
+	s.th.accepted.Inc()
+	s.queue = append(s.queue, &entry{rec: rec, job: job, wire: wire, typ: typ, enq: time.Now()})
+	s.th.queueDepth.Set(float64(len(s.queue)))
 	if d := len(s.queue); d > s.met.QueueHighWater {
 		s.met.QueueHighWater = d
+		s.th.queueHighWater.Set(float64(d))
 	}
 	s.cond.Signal()
 	return rec.clone(), nil
@@ -432,6 +517,9 @@ func (s *Server) shedLocked(i int) {
 	e.rec.Reason = "shed: displaced by higher-priority work under overload"
 	s.met.Shed++
 	s.met.Rejected++
+	s.th.shed.Inc()
+	s.th.rejected.Inc()
+	s.th.queueDepth.Set(float64(len(s.queue)))
 }
 
 // dequeueLocked pops the most important queued entry (highest priority,
@@ -450,6 +538,7 @@ func (s *Server) dequeueLocked() *entry {
 	}
 	e := s.queue[best]
 	s.queue = append(s.queue[:best], s.queue[best+1:]...)
+	s.th.queueDepth.Set(float64(len(s.queue)))
 	return e
 }
 
@@ -495,6 +584,8 @@ func (s *Server) publishEngineStats() {
 	s.engineNow = now
 	s.engineFired = fired
 	s.mu.Unlock()
+	s.th.engineNow.Set(float64(now))
+	s.th.eventsFired.Set(float64(fired))
 }
 
 // process hands one dequeued job to the VO and advances the engine just
@@ -502,6 +593,11 @@ func (s *Server) publishEngineStats() {
 // the start/finish events stay pending so the job is genuinely in flight.
 // Engine goroutine only (or the test driver in manual mode).
 func (s *Server) process(e *entry) {
+	if !e.enq.IsZero() {
+		s.th.queueWait.Observe(telemetry.Since(e.enq))
+	}
+	sp := s.spans.Start("service.process", 0)
+	sp.SetStr("job", e.rec.ID)
 	arrival := s.engine.Now() + 1
 	job := e.job.WithDeadline(arrival + simtime.Time(e.wire.Deadline))
 	s.mu.Lock()
@@ -514,9 +610,12 @@ func (s *Server) process(e *entry) {
 		e.rec.Reason = err.Error()
 		s.met.Rejected++
 		s.mu.Unlock()
+		s.th.rejected.Inc()
+		sp.SetStr("result", "rejected").End()
 		return
 	}
 	s.engine.RunUntil(arrival + 1)
+	sp.SetStr("result", "scheduled").End()
 }
 
 // Process dequeues and schedules up to n queued jobs synchronously (all of
@@ -562,6 +661,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	sp := s.spans.Start("service.drain", 0)
+	defer sp.End()
 
 	// Wait for the engine loop to exit; afterwards this goroutine is the
 	// engine's sole owner (the channel close is the happens-before edge).
@@ -616,10 +717,12 @@ func (s *Server) snapshotQueued() error {
 		e.rec.State = StateDrained
 		e.rec.Reason = "drained to snapshot on shutdown"
 		s.met.Drained++
+		s.th.drained.Inc()
 	}
 	s.queue = nil
 	path := s.cfg.SnapshotPath
 	s.mu.Unlock()
+	s.th.queueDepth.Set(0)
 	if len(wires) == 0 || path == "" {
 		return nil
 	}
@@ -687,6 +790,11 @@ func (s *Server) BreakerStates() map[string]string {
 	s.mu.Unlock()
 	return out
 }
+
+// Telemetry returns the server's metrics registry (never nil): the one
+// from Config, or the private registry New created. GET /metrics renders
+// it in Prometheus text format.
+func (s *Server) Telemetry() *telemetry.Registry { return s.telem }
 
 // Draining reports whether the service has stopped admitting work.
 func (s *Server) Draining() bool {

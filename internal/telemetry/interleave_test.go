@@ -1,0 +1,74 @@
+// Interleave test lives in the external package: metasched imports
+// telemetry, so the shared-sink test (span Tracer + VO JSONLTracer into
+// one SyncWriter) must sit outside the telemetry package proper.
+package telemetry_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/metasched"
+	"repro/internal/telemetry"
+)
+
+// TestSpanAndVOTraceInterleave drives a span Tracer and a metasched
+// JSONLTracer into ONE shared SyncWriter from concurrent goroutines —
+// the gridd -spans/-trace same-path configuration. Every line of the
+// merged stream must be a complete JSON object of exactly one of the two
+// schemas; a torn or interleaved line fails the Unmarshal.
+func TestSpanAndVOTraceInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewSyncWriter(&buf)
+	spans := telemetry.NewTracer(sink)
+	events := metasched.NewJSONLTracer(sink)
+
+	const perSide = 200
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			spans.Start("metasched.adopt", 0).SetInt("i", int64(i)).End()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			events.Trace(metasched.Event{Kind: metasched.EventArrive, Job: "j", Domain: "d0"})
+		}
+	}()
+	wg.Wait()
+
+	if err := spans.Err(); err != nil {
+		t.Fatalf("span tracer: %v", err)
+	}
+	if err := events.Err(); err != nil {
+		t.Fatalf("event tracer: %v", err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	spanLines, eventLines := 0, 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("torn line in merged stream: %v\n%q", err, sc.Text())
+		}
+		_, isSpan := obj["span"]
+		_, isEvent := obj["kind"]
+		switch {
+		case isSpan && !isEvent:
+			spanLines++
+		case isEvent && !isSpan:
+			eventLines++
+		default:
+			t.Fatalf("line matches neither or both schemas: %q", sc.Text())
+		}
+	}
+	if spanLines != perSide || eventLines != perSide {
+		t.Fatalf("merged stream has %d span + %d event lines, want %d each",
+			spanLines, eventLines, perSide)
+	}
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is fully deterministic for a given
+// registry state: families are sorted by name and series by their
+// canonical (key-sorted) label sets, so the golden-file test catches any
+// format drift. A nil registry writes nothing.
+//
+// The writer streams series straight from the live atomic values — no
+// intermediate response document is rebuilt per scrape (the fix for the
+// service layer's old JSON handler, which re-marshalled its whole
+// counters struct on every poll).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case KindCounter:
+				writeSample(bw, f.name, "", s.labels, "", formatUint(s.c.Value()))
+			case KindGauge:
+				writeSample(bw, f.name, "", s.labels, "", formatFloat(s.g.Value()))
+			case KindHistogram:
+				var cum uint64
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", s.labels, formatFloat(bound), formatUint(cum))
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				writeSample(bw, f.name, "_bucket", s.labels, "+Inf", formatUint(cum))
+				writeSample(bw, f.name, "_sum", s.labels, "", formatFloat(s.h.Sum()))
+				writeSample(bw, f.name, "_count", s.labels, "", formatUint(s.h.Count()))
+			}
+		}
+	}
+	r.mu.RUnlock()
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line: name+suffix{labels[,le]} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders floats the way Prometheus clients expect: shortest
+// round-trippable representation, `+Inf`/`-Inf` spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the telemetry golden files")
+
+// goldenRegistry builds a registry covering every exposition feature:
+// all three kinds, multiple label sets registered out of order, label
+// escaping, help escaping, negative and fractional gauge values, and a
+// histogram with observations landing in every bucket including +Inf.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	// Registered out of sorted order on purpose: families must render
+	// name-sorted and series label-set-sorted regardless.
+	r.Gauge("grid_queue_depth", "jobs waiting for admission").Set(3)
+	r.Counter("grid_jobs_total", "jobs by outcome", L("result", "ok")).Add(7)
+	r.Counter("grid_jobs_total", "jobs by outcome", L("result", "error")).Add(2)
+	// Same family, two labels given in swapped order — one series each.
+	r.Counter("grid_events_total", "events", L("kind", "arrive"), L("domain", "d0")).Inc()
+	r.Counter("grid_events_total", "events", L("domain", "d1"), L("kind", "arrive")).Add(4)
+	r.Gauge("grid_drift", "signed drift").Set(-1.5)
+	r.Counter("grid_escapes_total", "help with \\ and\nnewline",
+		L("path", `a\b"c`+"\n")).Inc()
+
+	h := r.Histogram("grid_build_seconds", "build wall time", []float64{0.1, 1, 10})
+	h.Observe(0.05)                                                   // first bucket
+	h.Observe(0.1)                                                    // boundary: still first bucket
+	h.Observe(0.5)                                                    // second
+	h.Observe(5)                                                      // third
+	h.Observe(50)                                                     // +Inf only
+	r.Histogram("grid_empty_seconds", "never observed", []float64{1}) // zero series
+	return r
+}
+
+// TestWritePrometheusGolden locks the exact exposition bytes. Run with
+// -update to rewrite testdata/registry.prom after an intentional format
+// change.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "registry.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/telemetry -update`): %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gl, wl := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("exposition drift at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("exposition drift: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestWritePrometheusDeterministic renders the same state twice and from
+// a merged copy; the bytes must match exactly (map iteration order must
+// never leak into the output).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	r := goldenRegistry()
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same registry differ")
+	}
+
+	merged := NewRegistry()
+	merged.Merge(goldenRegistry())
+	var c bytes.Buffer
+	if err := merged.WritePrometheus(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("merged copy renders differently from the original")
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil registry: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %d bytes", buf.Len())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1.5, "1.5"},
+		{-2, "-2"},
+		{0.00025, "0.00025"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+	}
+	for _, tc := range cases {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
