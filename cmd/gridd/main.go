@@ -4,10 +4,19 @@
 // a graceful SIGTERM drain that snapshots still-queued jobs to disk in the
 // jobio wire format.
 //
+// With -journal-dir set, gridd is crash-safe: every job lifecycle
+// transition is appended to a write-ahead journal (durable under the
+// -fsync policy) before it is acknowledged, and on startup the journal is
+// replayed — terminal jobs keep their ledger entries (the duplicate-submit
+// guard survives restarts) and jobs that were queued or in flight when the
+// process died are re-enqueued, so an accepted job reaches a terminal
+// state exactly once across any SIGKILL/restart sequence.
+//
 // Usage:
 //
 //	gridd -listen :8080 -domains 3 -seed 1
 //	gridd -env nodes.json -queue 32 -snapshot drained.json
+//	gridd -journal-dir /var/lib/gridd/journal -fsync always
 //
 // The environment comes from -env (a jobio node file, e.g. the output of
 // `jobgen -env`) or is generated synthetically from -domains/-seed. See
@@ -30,6 +39,7 @@ import (
 	"repro/internal/breaker"
 	"repro/internal/faults"
 	"repro/internal/jobio"
+	"repro/internal/journal"
 	"repro/internal/metasched"
 	"repro/internal/resource"
 	"repro/internal/service"
@@ -54,6 +64,11 @@ func main() {
 		mtbf         = flag.Float64("mtbf", 0, "mean model time between node outages (0 disables outages)")
 		mttr         = flag.Float64("mttr", 50, "mean outage duration")
 		faultHorizon = flag.Int64("fault-horizon", 1_000_000, "model-time horizon of the outage schedule")
+		journalDir   = flag.String("journal-dir", "", "write-ahead job journal directory; empty disables crash safety")
+		fsyncMode    = flag.String("fsync", "always", "journal fsync policy: always|interval|never")
+		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval")
+		segmentBytes = flag.Int64("segment-bytes", 4<<20, "journal segment rotation threshold")
+		compactEvery = flag.Int("compact-every", 256, "terminal jobs between journal compactions (0 = only on recovery/drain)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 		spansPath    = flag.String("spans", "", "write scheduling spans as JSON lines to this file, - for stderr")
 		tracePath    = flag.String("trace", "", "write VO lifecycle events as JSON lines to this file, - for stderr; sharing the -spans path interleaves both streams line-atomically")
@@ -86,12 +101,43 @@ func main() {
 		tracer = metasched.NewJSONLTracer(traceSink)
 	}
 
+	// One registry serves /metrics, the VO hierarchy, the breakers and the
+	// journal.
+	reg := telemetry.NewRegistry()
+
+	var jnl *journal.Journal
+	var recovered *journal.Recovery
+	if *journalDir != "" {
+		policy, err := journal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("gridd: %v", err)
+		}
+		jnl, recovered, err = journal.Open(journal.Options{
+			Dir:           *journalDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncEvery,
+			SegmentBytes:  *segmentBytes,
+			CompactEvery:  *compactEvery,
+			IsTerminal:    service.Terminal,
+			Telemetry:     reg,
+		})
+		if err != nil {
+			log.Fatalf("gridd: %v", err)
+		}
+		defer jnl.Close()
+		if recovered.TornBytes > 0 {
+			log.Printf("gridd: journal: truncated torn tail (%d bytes: %s)", recovered.TornBytes, recovered.TornReason)
+		}
+	}
+
 	cfg := service.Config{
 		Env:          env,
 		QueueCap:     *queueCap,
 		BuildTimeout: *buildTimeout,
 		DrainTimeout: *drainTimeout,
 		SnapshotPath: *snapshot,
+		Telemetry:    reg,
+		Journal:      jnl,
 		Sched: metasched.Config{
 			Seed:    *seed,
 			Workers: *workers,
@@ -115,6 +161,16 @@ func main() {
 	srv, err := service.New(cfg)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
+	}
+	if recovered != nil {
+		stats, err := srv.Restore(recovered)
+		if err != nil {
+			log.Fatalf("gridd: recovery: %v", err)
+		}
+		if stats.Restored > 0 || stats.TornBytes > 0 {
+			log.Printf("gridd: recovered journal through LSN %d in %.3fs — requeued=%d terminal=%d invalid=%d duplicates=%d",
+				stats.LastLSN, stats.ReplaySeconds, stats.Requeued, stats.Terminal, stats.Invalid, stats.DuplicatesSuppressed)
+		}
 	}
 	srv.Start()
 

@@ -1,0 +1,65 @@
+// Package atomicfile writes files atomically and durably: content goes to
+// a temporary file in the target directory, is fsynced, renamed over the
+// destination, and the directory entry is fsynced too. A crash at any
+// point leaves either the old file or the complete new one — never a
+// truncated hybrid. The drain snapshot and the journal's compaction
+// snapshots both ride on this helper.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever write produces. The
+// temporary file is created next to path (same filesystem, so the rename
+// is atomic) and removed on any failure.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicfile: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: rename: %w", err)
+	}
+	if err = SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so entry operations (create, rename, remove)
+// performed in it survive a power loss. Filesystems that refuse to fsync
+// directories are tolerated: the error is swallowed because the data file
+// itself was already synced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems (and some CI sandboxes) reject directory fsync;
+		// the rename is still atomic, only its durability window widens.
+		return nil
+	}
+	return nil
+}

@@ -28,6 +28,15 @@ func FuzzReadJobs(f *testing.F) {
 		`"tasks":[{"name":"A","baseTime":9223372036854775807,"volume":9223372036854775807}]}]`)
 	f.Add(`[{"name":"zerovol","tasks":[{"name":"A","baseTime":2,"volume":0}]}]`)
 	f.Add(`[{"name":"empty-name","tasks":[{"name":"","baseTime":1,"volume":1}]}]`)
+	// Journal-record shapes: the write-ahead journal embeds the wire job in
+	// {"crc":N,"rec":{...,"wire":<job>}} envelopes, so crash recovery can
+	// feed envelope fragments and CRC-framed payloads into this decoder.
+	f.Add(`{"crc":1234567890,"rec":{"lsn":1,"job":"j0","state":"queued","strategy":"S1",` +
+		`"wire":{"name":"j0","deadline":60,"tasks":[{"name":"A","baseTime":2,"volume":10}]}}}`)
+	f.Add(`[{"name":"j0","deadline":60,"tasks":[{"name":"A","baseTime":2,"volume":10},` +
+		`{"name":"B","baseTime":3,"volume":15}],"edges":[{"name":"d","from":"A","to":"B","baseTime":1,"volume":5}]}]`)
+	f.Add(`{"lsn":18446744073709551615,"job":"wrap","state":"completed"}`)
+	f.Add(`{"crc":0,"rec":`) // torn tail: envelope cut mid-payload
 	f.Fuzz(func(t *testing.T, in string) {
 		jobs, err := ReadJobs(strings.NewReader(in))
 		if err != nil {

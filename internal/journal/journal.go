@@ -1,0 +1,556 @@
+// Package journal is an append-only, segmented write-ahead log for the
+// scheduler service's job lifecycle. Every lifecycle transition (accepted,
+// scheduled, completed, rejected, drained, ...) is one JSONL record with a
+// per-record CRC32 and a monotonically increasing LSN; an acknowledgement
+// is only sent to the client after the record is durable under the
+// configured fsync policy, so a SIGKILL, OOM kill or power loss can never
+// lose an accepted job.
+//
+// # On-disk layout
+//
+// A journal directory holds segment files and snapshot files:
+//
+//	wal-%016x.log   — JSONL records; the name is the segment's first LSN
+//	snap-%016x.json — folded per-job state through the named LSN
+//
+// Each record line is the envelope {"crc":C,"rec":R} where C is the IEEE
+// CRC32 of the exact bytes of R. Segments rotate at Options.SegmentBytes.
+// Compaction folds the per-job state (terminal jobs lose their jobio wire
+// payload, keeping only the ledger entry that makes the duplicate-submit
+// guard durable) into a snapshot written atomically via atomicfile, then
+// deletes the dead segments — so replay cost is bounded by the live job
+// count plus the records since the last compaction, not by history.
+//
+// # Recovery semantics
+//
+// Replay loads the newest snapshot, then applies segment records in LSN
+// order with strict +1 continuity. An invalid record (bad JSON, CRC
+// mismatch, missing trailing newline) in the *final* segment is a torn
+// tail: everything from it onward is discarded and, when opening for
+// write, truncated away. An invalid record anywhere else is hard
+// corruption and fails recovery with an error naming the file and byte
+// offset — silent data loss is never an option in the middle of the log.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/atomicfile"
+	"repro/internal/jobio"
+	"repro/internal/telemetry"
+)
+
+// FsyncPolicy selects how eagerly appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged record is
+	// durable. The default, and the only policy under which the service's
+	// exactly-once guarantee covers power loss.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a background timer (Options.FsyncInterval).
+	// A crash can lose up to one interval of acknowledged records; process
+	// kills (SIGKILL, OOM) lose nothing because appends still hit the OS.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS page cache. Fastest; survives
+	// process death but not power loss.
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses the -fsync flag values "always", "interval" and
+// "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("journal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// String renders the flag form.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// Options configures a journal.
+type Options struct {
+	// Dir is the journal directory; created if missing. Required.
+	Dir string
+	// Fsync is the durability policy. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval.
+	// Default 100ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// Default 4 MiB.
+	SegmentBytes int64
+	// CompactEvery triggers a compaction after this many jobs newly reach
+	// a terminal state. 0 means compaction only happens when Compact is
+	// called explicitly (the service compacts after recovery and on drain).
+	CompactEvery int
+	// IsTerminal classifies job states for compaction: terminal jobs keep
+	// only their ledger entry in snapshots, live jobs keep the full wire
+	// form. nil treats every state as live.
+	IsTerminal func(state string) bool
+	// Telemetry receives append/fsync/rotation/compaction counters and the
+	// LSN gauge. nil disables.
+	Telemetry *telemetry.Registry
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return 4 << 20
+	}
+	return o.SegmentBytes
+}
+
+func (o Options) fsyncInterval() time.Duration {
+	if o.FsyncInterval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.FsyncInterval
+}
+
+// Record is one job lifecycle transition. Wire, Strategy and Priority are
+// set on admission records (state "queued") so recovery can rebuild and
+// re-enqueue the job; later transitions carry only the state change.
+type Record struct {
+	LSN      uint64     `json:"lsn"`
+	Job      string     `json:"job"`
+	State    string     `json:"state"`
+	Reason   string     `json:"reason,omitempty"`
+	Strategy string     `json:"strategy,omitempty"`
+	Priority int        `json:"priority,omitempty"`
+	Wire     *jobio.Job `json:"wire,omitempty"`
+}
+
+// JobState is the folded, latest-record-wins view of one job, as stored in
+// snapshots and returned by recovery.
+type JobState struct {
+	Job      string     `json:"job"`
+	State    string     `json:"state"`
+	Reason   string     `json:"reason,omitempty"`
+	Strategy string     `json:"strategy,omitempty"`
+	Priority int        `json:"priority,omitempty"`
+	Wire     *jobio.Job `json:"wire,omitempty"`
+	FirstLSN uint64     `json:"firstLSN"`
+	LastLSN  uint64     `json:"lastLSN"`
+}
+
+// Stats is a point-in-time snapshot of journal activity.
+type Stats struct {
+	NextLSN     uint64 `json:"nextLSN"`
+	SnapshotLSN uint64 `json:"snapshotLSN"`
+	Appends     uint64 `json:"appends"`
+	Fsyncs      uint64 `json:"fsyncs"`
+	Rotations   uint64 `json:"rotations"`
+	Compactions uint64 `json:"compactions"`
+	Jobs        int    `json:"jobs"`
+	Live        int    `json:"live"`
+}
+
+// Journal is the write handle. Safe for concurrent use.
+type Journal struct {
+	opts Options
+
+	mu            sync.Mutex
+	f             *os.File
+	segBytes      int64
+	nextLSN       uint64
+	snapLSN       uint64
+	state         map[string]*JobState
+	order         []string // job IDs by first-seen LSN
+	terminalSince int
+	stats         Stats
+	closed        bool
+
+	stopc chan struct{} // interval syncer; nil unless FsyncInterval
+	syncg sync.WaitGroup
+
+	appends, fsyncs, rotations, compactions *telemetry.Counter
+	lsnGauge                                *telemetry.Gauge
+}
+
+// Open recovers the journal directory (truncating a torn tail) and opens
+// it for appending. The returned Recovery is the folded job state the
+// caller should restore before accepting new work.
+func Open(opts Options) (*Journal, *Recovery, error) {
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("journal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	rec, err := Recover(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.tornPath != "" {
+		// Cut the torn tail so the next segment scan sees only valid
+		// records; the file itself is synced before we append past it.
+		if err := truncateFile(rec.tornPath, rec.tornOffset); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+
+	j := &Journal{
+		opts:    opts,
+		nextLSN: rec.LastLSN + 1,
+		snapLSN: rec.SnapshotLSN,
+		state:   make(map[string]*JobState, len(rec.Jobs)),
+	}
+	for _, js := range rec.Jobs {
+		cp := *js
+		j.state[js.Job] = &cp
+		j.order = append(j.order, js.Job)
+	}
+	if reg := opts.Telemetry; reg != nil {
+		j.appends = reg.Counter("grid_journal_appends_total", "journal records appended")
+		j.fsyncs = reg.Counter("grid_journal_fsyncs_total", "journal fsync calls")
+		j.rotations = reg.Counter("grid_journal_rotations_total", "journal segment rotations")
+		j.compactions = reg.Counter("grid_journal_compactions_total", "journal compactions")
+		j.lsnGauge = reg.Gauge("grid_journal_lsn", "highest assigned journal LSN")
+	}
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		j.stopc = make(chan struct{})
+		j.syncg.Add(1)
+		go j.syncLoop()
+	}
+	return j, rec, nil
+}
+
+func truncateFile(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// openSegmentLocked opens the active segment named after nextLSN. The name
+// can already exist in exactly one benign case — a torn tail truncated the
+// whole segment away — in which case appending to the now-empty file is
+// precisely right, so O_APPEND without O_EXCL.
+func (j *Journal) openSegmentLocked() error {
+	path := segmentPath(j.opts.Dir, j.nextLSN)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: open segment: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: stat segment: %w", err)
+	}
+	j.f = f
+	j.segBytes = info.Size()
+	if err := atomicfile.SyncDir(j.opts.Dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+func segmentPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", first))
+}
+
+func snapshotPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.json", lsn))
+}
+
+// Append writes one record, assigns its LSN, and makes it durable under
+// the fsync policy before returning. The returned LSN is the record's.
+func (j *Journal) Append(rec Record) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("journal: closed")
+	}
+	rec.LSN = j.nextLSN
+	line, err := encodeRecord(&rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	j.nextLSN++
+	j.segBytes += int64(len(line))
+	j.stats.Appends++
+	if j.appends != nil {
+		j.appends.Inc()
+		j.lsnGauge.Set(float64(rec.LSN))
+	}
+	wasTerminal := false
+	if js, ok := j.state[rec.Job]; ok && j.opts.IsTerminal != nil {
+		wasTerminal = j.opts.IsTerminal(js.State)
+	}
+	foldRecord(j.state, &j.order, &rec)
+	if j.opts.IsTerminal != nil && !wasTerminal && j.opts.IsTerminal(rec.State) {
+		j.terminalSince++
+	}
+
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if j.segBytes >= j.opts.segmentBytes() {
+		if err := j.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if n := j.opts.CompactEvery; n > 0 && j.terminalSince >= n {
+		if err := j.compactLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.LSN, nil
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.stats.Fsyncs++
+	if j.fsyncs != nil {
+		j.fsyncs.Inc()
+	}
+	return nil
+}
+
+// Sync forces the active segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	return j.syncLocked()
+}
+
+// rotateLocked seals the active segment and starts a new one named after
+// the next LSN to be assigned.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	j.stats.Rotations++
+	if j.rotations != nil {
+		j.rotations.Inc()
+	}
+	return j.openSegmentLocked()
+}
+
+// Compact folds the current per-job state into a snapshot and deletes the
+// segments (and older snapshots) it supersedes. Terminal jobs are stripped
+// to their ledger entry — ID, state, reason — which is all the durable
+// duplicate-submit guard needs; live jobs keep the full wire form so
+// recovery can re-enqueue them.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	// Seal the active segment first: after this, every record on disk is
+	// covered by the snapshot we are about to write.
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("journal: close segment: %w", err)
+	}
+	snapLSN := j.nextLSN - 1
+
+	snap := snapshotFile{LSN: snapLSN, Jobs: make([]*JobState, 0, len(j.order))}
+	for _, id := range j.order {
+		js := j.state[id]
+		if j.opts.IsTerminal != nil && j.opts.IsTerminal(js.State) {
+			js.Wire = nil // fold: terminal jobs keep only the ledger entry
+		}
+		snap.Jobs = append(snap.Jobs, js)
+	}
+	if err := atomicfile.WriteFile(snapshotPath(j.opts.Dir, snapLSN), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&snap)
+	}); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+
+	// Everything sealed is now dead: every segment (all records <=
+	// snapLSN) and every older snapshot. A crash between these removes and
+	// the new segment is safe — replay skips records at or below the
+	// snapshot LSN.
+	names, err := os.ReadDir(j.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, e := range names {
+		name := e.Name()
+		if first, ok := parseSegmentName(name); ok && first <= snapLSN {
+			os.Remove(filepath.Join(j.opts.Dir, name))
+		} else if lsn, ok := parseSnapshotName(name); ok && lsn < snapLSN {
+			os.Remove(filepath.Join(j.opts.Dir, name))
+		}
+	}
+	j.snapLSN = snapLSN
+	j.terminalSince = 0
+	j.stats.Compactions++
+	if j.compactions != nil {
+		j.compactions.Inc()
+	}
+	return j.openSegmentLocked()
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (j *Journal) syncLoop() {
+	defer j.syncg.Done()
+	t := time.NewTicker(j.opts.fsyncInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.mu.Lock()
+			if !j.closed {
+				_ = j.syncLocked()
+			}
+			j.mu.Unlock()
+		case <-j.stopc:
+			return
+		}
+	}
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.stopc != nil {
+		close(j.stopc)
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.closed = true
+	j.mu.Unlock()
+	j.syncg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of journal activity.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.NextLSN = j.nextLSN
+	st.SnapshotLSN = j.snapLSN
+	st.Jobs = len(j.state)
+	for _, js := range j.state {
+		if j.opts.IsTerminal == nil || !j.opts.IsTerminal(js.State) {
+			st.Live++
+		}
+	}
+	return st
+}
+
+// envelope is the on-disk line form: CRC over the exact bytes of Rec.
+type envelope struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// snapshotFile is the on-disk compaction snapshot.
+type snapshotFile struct {
+	LSN  uint64      `json:"lsn"`
+	Jobs []*JobState `json:"jobs"`
+}
+
+// encodeRecord renders one record as its envelope line, newline included.
+func encodeRecord(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(payload)
+	line := make([]byte, 0, len(payload)+24)
+	line = append(line, fmt.Sprintf(`{"crc":%d,"rec":`, crc)...)
+	line = append(line, payload...)
+	line = append(line, '}', '\n')
+	return line, nil
+}
+
+// decodeRecord parses and verifies one envelope line (sans newline).
+func decodeRecord(line []byte) (*Record, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("bad envelope: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(env.Rec); got != env.CRC {
+		return nil, fmt.Errorf("crc mismatch: record says %08x, content is %08x", env.CRC, got)
+	}
+	var rec Record
+	if err := json.Unmarshal(env.Rec, &rec); err != nil {
+		return nil, fmt.Errorf("bad record: %w", err)
+	}
+	return &rec, nil
+}
+
+// foldRecord applies one record to the latest-wins state map. Admission
+// fields (wire, strategy, priority) stick from the record that carries
+// them; state and reason always track the newest record.
+func foldRecord(state map[string]*JobState, order *[]string, rec *Record) {
+	js, ok := state[rec.Job]
+	if !ok {
+		js = &JobState{Job: rec.Job, FirstLSN: rec.LSN}
+		state[rec.Job] = js
+		*order = append(*order, rec.Job)
+	}
+	js.State = rec.State
+	js.Reason = rec.Reason
+	js.LastLSN = rec.LSN
+	if rec.Strategy != "" {
+		js.Strategy = rec.Strategy
+	}
+	if rec.Priority != 0 {
+		js.Priority = rec.Priority
+	}
+	if rec.Wire != nil {
+		js.Wire = rec.Wire
+	}
+}

@@ -2,10 +2,12 @@ package service
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/jobio"
+	"repro/internal/journal"
 )
 
 // SubmitRequest is the POST /v1/jobs body: the jobio wire form of the job
@@ -33,8 +35,12 @@ type errorBody struct {
 //	GET  /v1/jobs/{id} — one job record (404 when unknown)
 //	GET  /v1/metrics   — counters snapshot (JSON, legacy)
 //	GET  /metrics      — Prometheus text format, streamed from the registry
-//	GET  /healthz      — liveness (always 200 while the process runs)
-//	GET  /readyz       — readiness (503 while draining)
+//	GET  /healthz      — liveness + journal/recovery detail (always 200)
+//	GET  /readyz       — readiness (503 + Retry-After while draining)
+//
+// Backpressure responses (429 queue full, 503 draining) carry a
+// Retry-After header so clients back off instead of hammering a daemon
+// that is overloaded or restarting.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -42,17 +48,33 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.Draining() {
+			setRetryAfter(w, s.cfg.retryAfter())
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
+}
+
+// healthzBody is the GET /healthz response: liveness plus, when a journal
+// is configured, its activity stats and the outcome of startup recovery.
+type healthzBody struct {
+	Status   string         `json:"status"`
+	Journal  *journal.Stats `json:"journal,omitempty"`
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{Status: "ok", Recovery: s.Recovery()}
+	if s.cfg.Journal != nil {
+		st := s.cfg.Journal.Stats()
+		body.Journal = &st
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -78,14 +100,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusUnprocessableEntity
 		case CodeOverloaded:
 			status = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(se.RetryAfter.Seconds()+0.5)))
 		case CodeDraining:
 			status = http.StatusServiceUnavailable
+		case CodeInternal:
+			status = http.StatusInternalServerError
+		}
+		if se.RetryAfter > 0 {
+			setRetryAfter(w, se.RetryAfter)
 		}
 		writeJSON(w, status, errorBody{Error: "rejected", Code: se.Code, Reason: se.Reason})
 		return
 	}
 	writeJSON(w, http.StatusAccepted, rec)
+}
+
+// setRetryAfter renders the backoff hint in whole seconds, rounded up so a
+// sub-second hint never becomes "retry immediately".
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -202,3 +202,63 @@ func TestHTTPConcurrentSubmitAndPoll(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPRetryAfterAndHealthz: backpressure responses (429 and 503) must
+// carry Retry-After, and /healthz must surface journal activity and the
+// startup recovery outcome.
+func TestHTTPRetryAfterAndHealthz(t *testing.T) {
+	dir := t.TempDir()
+
+	// Seed the journal with a crashed predecessor: one completed, one queued.
+	victim, _ := newJournaledServer(t, dir)
+	for _, name := range []string{"w1", "w2"} {
+		if _, err := victim.Submit(wireJob(name, 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim.Process(1)
+	victim.Quiesce()
+
+	s, stats := newJournaledServer(t, dir)
+	if stats.Requeued != 1 || stats.Terminal != 1 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var hb healthzBody
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &hb)
+	if hb.Status != "ok" || hb.Journal == nil || hb.Recovery == nil {
+		t.Fatalf("healthz body: %+v", hb)
+	}
+	if hb.Journal.Appends == 0 || hb.Recovery.Requeued != 1 || hb.Recovery.Terminal != 1 {
+		t.Fatalf("healthz detail: journal=%+v recovery=%+v", hb.Journal, hb.Recovery)
+	}
+
+	// Drain, then both the submit 503 and the readyz 503 must say when to
+	// come back.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp = postJob(t, ts, SubmitRequest{Job: wireJob("late", 60)})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 submit without Retry-After header")
+	}
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("readyz while draining: status=%d Retry-After=%q",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}

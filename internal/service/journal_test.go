@@ -1,0 +1,295 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/metasched"
+)
+
+// openJournal opens (or reopens) a journal over dir with the service's
+// terminal predicate.
+func openJournal(t *testing.T, dir string) (*journal.Journal, *journal.Recovery) {
+	t.Helper()
+	j, rec, err := journal.Open(journal.Options{Dir: dir, IsTerminal: Terminal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+// newJournaledServer builds a manual-mode server over a fresh or recovered
+// journal directory and restores whatever the journal remembers.
+func newJournaledServer(t *testing.T, dir string) (*Server, RecoveryStats) {
+	t.Helper()
+	jnl, rec := openJournal(t, dir)
+	t.Cleanup(func() { jnl.Close() })
+	s := newServer(t, Config{Journal: jnl})
+	stats, err := s.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, stats
+}
+
+// TestJournalRecoveryAcrossCrash is the in-process crash: a server accepts
+// work, completes some of it, and is abandoned without Drain. A successor
+// over the same journal dir must remember the terminal jobs (exactly once,
+// never re-executed) and re-enqueue the rest.
+func TestJournalRecoveryAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+
+	victim, stats := newJournaledServer(t, dir)
+	if stats.Restored != 0 {
+		t.Fatalf("fresh journal restored something: %+v", stats)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := victim.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", i); err != nil {
+			t.Fatalf("submit j%d: %v", i, err)
+		}
+	}
+	// Highest priority first: j3 then j2 get scheduled and completed.
+	victim.Process(2)
+	victim.Quiesce()
+	// CRASH: no drain, no close. Only what the journal fsynced exists.
+
+	heir, stats := newJournaledServer(t, dir)
+	if stats.Restored != 4 || stats.Terminal != 2 || stats.Requeued != 2 || stats.DuplicatesSuppressed != 0 {
+		t.Fatalf("recovery stats: %+v", stats)
+	}
+	// Terminal jobs are ledgered, not re-run.
+	for _, id := range []string{"j3", "j2"} {
+		rec, ok := heir.Job(id)
+		if !ok || rec.State != StateCompleted {
+			t.Fatalf("%s after recovery: %+v", id, rec)
+		}
+	}
+	// The duplicate-submit guard survived the restart for every ID.
+	for i := 0; i < 4; i++ {
+		_, err := heir.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", 0)
+		if submitCode(err) != CodeDuplicate {
+			t.Fatalf("j%d resubmit after recovery: %v", i, err)
+		}
+	}
+	// The requeued jobs run to completion exactly once.
+	heir.Process(-1)
+	heir.Quiesce()
+	for i := 0; i < 4; i++ {
+		rec, _ := heir.Job(fmt.Sprintf("j%d", i))
+		if rec.State != StateCompleted {
+			t.Fatalf("j%d: %+v", i, rec)
+		}
+	}
+	m := heir.Metrics()
+	if m.Completed != 2 || m.JournalErrors != 0 {
+		t.Fatalf("heir metrics (only requeued jobs complete here): %+v", m)
+	}
+	if rs := heir.Recovery(); rs == nil || rs.Requeued != 2 {
+		t.Fatalf("Recovery() accessor: %+v", rs)
+	}
+}
+
+// TestRestoreIdempotent: restoring the same recovery twice must suppress
+// every entry the second time — terminal exactly once, queued exactly once.
+func TestRestoreIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	victim, _ := newJournaledServer(t, dir)
+	for i := 0; i < 3; i++ {
+		if _, err := victim.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim.Process(1)
+	victim.Quiesce()
+
+	jnl, rec := openJournal(t, dir)
+	defer jnl.Close()
+	s := newServer(t, Config{Journal: jnl})
+	first, err := s.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Restored != 3 || first.DuplicatesSuppressed != 0 {
+		t.Fatalf("first restore: %+v", first)
+	}
+	second, err := s.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Restored != 0 || second.DuplicatesSuppressed != 3 {
+		t.Fatalf("second restore not suppressed: %+v", second)
+	}
+	if depth := s.Metrics().QueueDepth; depth != 2 {
+		t.Fatalf("queue depth after double restore: %d, want 2", depth)
+	}
+
+	// Concurrent duplicate submissions against the restored ledger (the
+	// -race guard for the recovery/duplicate-suppression path).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := s.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", 0); submitCode(err) != CodeDuplicate {
+					t.Errorf("duplicate j%d admitted: %v", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestJournalDifferential: with journaling disabled the service must
+// behave byte-identically; with it enabled, the client-visible records
+// must still be identical — the journal is pure bookkeeping.
+func TestJournalDifferential(t *testing.T) {
+	scenario := func(s *Server) []Record {
+		t.Helper()
+		for i := 0; i < 6; i++ {
+			if _, err := s.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", i%3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.Submit(wireJob("tight", 4), "S1", 0); submitCode(err) != CodeInfeasible {
+			t.Fatal("infeasible not rejected")
+		}
+		s.Process(-1)
+		s.Quiesce()
+		if err := s.Drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return s.Jobs()
+	}
+
+	bare := scenario(newServer(t, Config{Sched: metasched.Config{Seed: 7}}))
+
+	jnl, rec := openJournal(t, t.TempDir())
+	defer jnl.Close()
+	journaled := newServer(t, Config{Journal: jnl, Sched: metasched.Config{Seed: 7}})
+	if _, err := journaled.Restore(rec); err != nil {
+		t.Fatal(err)
+	}
+	withJournal := scenario(journaled)
+
+	if !reflect.DeepEqual(bare, withJournal) {
+		t.Fatalf("journaling changed observable behavior:\nbare: %+v\njournaled: %+v", bare, withJournal)
+	}
+}
+
+// TestJournalMatchesLedger replays the journal after a full lifecycle and
+// checks it agrees with the in-memory ledger job for job.
+func TestJournalMatchesLedger(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newJournaledServer(t, dir)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Process(3)
+	s.Quiesce()
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Jobs) != 5 {
+		t.Fatalf("journal jobs: %d", len(rec.Jobs))
+	}
+	for _, js := range rec.Jobs {
+		ledger, ok := s.Job(js.Job)
+		if !ok {
+			t.Fatalf("journal job %q unknown to ledger", js.Job)
+		}
+		if js.State != ledger.State {
+			t.Fatalf("%s: journal %q vs ledger %q", js.Job, js.State, ledger.State)
+		}
+		if !Terminal(js.State) {
+			t.Fatalf("%s: non-terminal after drain: %q", js.Job, js.State)
+		}
+	}
+	// Drain compacted: the directory must be a snapshot plus one (empty)
+	// active segment's worth of replay work.
+	if rec.Records != 0 || rec.SnapshotLSN == 0 {
+		t.Fatalf("drain did not compact: %+v", rec)
+	}
+}
+
+// TestRestoreRejectsUnbuildableEntries: a journal whose live entry cannot
+// be rebuilt (no wire payload) is ledgered as rejected, not dropped and
+// not crashed on.
+func TestRestoreRejectsUnbuildableEntries(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _ := openJournal(t, dir)
+	if _, err := jnl.Append(journal.Record{Job: "ghost", State: StateQueued, Strategy: "S1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jnl.Append(journal.Record{Job: "alien", State: StateQueued, Strategy: "S9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jnl2, rec := openJournal(t, dir)
+	defer jnl2.Close()
+	s := newServer(t, Config{Journal: jnl2})
+	stats, err := s.Restore(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invalid != 2 || stats.Requeued != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	for _, id := range []string{"ghost", "alien"} {
+		r, ok := s.Job(id)
+		if !ok || r.State != StateRejected {
+			t.Fatalf("%s: %+v", id, r)
+		}
+	}
+}
+
+// TestDrainIdempotentConcurrent: many concurrent Drain calls must produce
+// exactly one drain — no double snapshot, no race on the engine — and all
+// return the first drain's (nil) error.
+func TestDrainIdempotentConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(t, Config{SnapshotPath: dir + "/drain.json"})
+	s.Start()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(wireJob(fmt.Sprintf("j%d", i), 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = s.Drain(context.Background())
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("drain %d: %v", g, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Drained+m.Completed != 4 {
+		t.Fatalf("jobs lost across concurrent drains: %+v", m)
+	}
+	// And a sequential repeat is still clean.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,14 +34,16 @@ package service
 import (
 	"context"
 	"fmt"
-	"os"
+	"io"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/atomicfile"
 	"repro/internal/breaker"
 	"repro/internal/dag"
 	"repro/internal/jobio"
+	"repro/internal/journal"
 	"repro/internal/metasched"
 	"repro/internal/resource"
 	"repro/internal/sim"
@@ -96,6 +98,13 @@ type Config struct {
 	// registry is forwarded to the VO hierarchy (Sched.Telemetry) and the
 	// circuit breakers unless those configs already carry their own.
 	Telemetry *telemetry.Registry
+	// Journal, when non-nil, makes the job lifecycle crash-safe: every
+	// transition (queued, scheduled, completed, rejected, drained) is
+	// appended — and made durable under the journal's fsync policy —
+	// before it is acknowledged. On startup, Restore replays a recovered
+	// journal so accepted jobs survive SIGKILL, OOM and power loss. nil
+	// keeps the pre-journal behavior byte-identical.
+	Journal *journal.Journal
 }
 
 func (c Config) queueCap() int {
@@ -138,6 +147,10 @@ const (
 	CodeInfeasible = "infeasible"
 	CodeOverloaded = "overloaded"
 	CodeDraining   = "draining"
+	// CodeInternal covers admission failures inside the service itself —
+	// today only a journal append that could not be made durable, in which
+	// case the job is NOT accepted (an unjournaled accept could be lost).
+	CodeInternal = "internal"
 )
 
 // Record is one job's service-side ledger entry.
@@ -172,6 +185,37 @@ type Metrics struct {
 	BreakerTrips   int               `json:"breakerTrips"`
 	Breakers       map[string]string `json:"breakers,omitempty"`
 	Draining       bool              `json:"draining"`
+	// JournalErrors counts lifecycle transitions that could not be
+	// journaled (the job still progresses in memory; only durability of
+	// that transition is degraded). Always 0 without a journal.
+	JournalErrors uint64 `json:"journalErrors,omitempty"`
+}
+
+// RecoveryStats summarizes one journal Restore: how the remembered jobs
+// were dispositioned. Surfaced on /healthz.
+type RecoveryStats struct {
+	// Restored is the total ledger records rebuilt from the journal.
+	Restored int `json:"restored"`
+	// Requeued is how many non-terminal jobs went back into the admission
+	// queue to be scheduled again.
+	Requeued int `json:"requeued"`
+	// Terminal is how many jobs were already terminal; they are ledgered
+	// so the duplicate-submit guard holds across the restart but are never
+	// re-executed.
+	Terminal int `json:"terminal"`
+	// DuplicatesSuppressed counts journal entries skipped because the ID
+	// was already ledgered (a second Restore, or overlapping histories).
+	DuplicatesSuppressed int `json:"duplicatesSuppressed"`
+	// Invalid counts non-terminal journal entries whose payload no longer
+	// builds (or carried no wire form); they are ledgered as rejected.
+	Invalid int `json:"invalid"`
+	// TornBytes is carried over from the journal replay: trailing bytes
+	// discarded as a torn tail.
+	TornBytes int64 `json:"tornBytes,omitempty"`
+	// LastLSN is the journal position recovery caught up to.
+	LastLSN uint64 `json:"lastLSN"`
+	// ReplaySeconds is the wall-clock cost of Restore.
+	ReplaySeconds float64 `json:"replaySeconds"`
 }
 
 // entry is one queued submission.
@@ -211,6 +255,12 @@ type Server struct {
 	engineFired uint64
 	draining    bool
 	buildCtxs   map[string]context.CancelFunc // per scheduled job
+	recovery    *RecoveryStats                // set by Restore; nil before
+
+	// drainDone is closed (and drainErr set) when the first Drain call
+	// finishes; later callers wait on it instead of racing the first.
+	drainDone chan struct{}
+	drainErr  error
 
 	loopDone chan struct{} // closed when the engine loop exits; nil before Start
 }
@@ -224,6 +274,10 @@ type telemetryHandles struct {
 	queueDepth, queueHighWater               *telemetry.Gauge
 	engineNow, eventsFired                   *telemetry.Gauge
 	queueWait                                *telemetry.Histogram
+	journalErrors                            *telemetry.Counter
+	recoveredRequeued, recoveredTerminal     *telemetry.Gauge
+	recoveryDuplicates                       *telemetry.Gauge
+	replaySeconds                            *telemetry.Histogram
 }
 
 func newTelemetryHandles(reg *telemetry.Registry) telemetryHandles {
@@ -244,6 +298,12 @@ func newTelemetryHandles(reg *telemetry.Registry) telemetryHandles {
 		eventsFired:    g("grid_service_engine_events_fired", "simulation events fired so far"),
 		queueWait: reg.Histogram("grid_service_queue_wait_seconds",
 			"wall time jobs spent in the admission queue", nil),
+		journalErrors:      c("grid_service_journal_errors_total", "lifecycle transitions that failed to journal"),
+		recoveredRequeued:  g("grid_service_recovered_requeued", "non-terminal jobs re-enqueued by the last journal restore"),
+		recoveredTerminal:  g("grid_service_recovered_terminal", "terminal jobs re-ledgered by the last journal restore"),
+		recoveryDuplicates: g("grid_service_recovery_duplicates_suppressed", "journal entries skipped as duplicates during restore"),
+		replaySeconds: reg.Histogram("grid_journal_replay_seconds",
+			"wall time spent replaying the journal into the service", nil),
 	}
 }
 
@@ -356,6 +416,7 @@ func (s *Server) onEvent(e metasched.Event) {
 		rec.Finish = now
 		s.met.Completed++
 		s.th.completed.Inc()
+		_ = s.journalLocked(journal.Record{Job: rec.ID, State: StateCompleted})
 		s.releaseBuildCtxLocked(rec.ID)
 	case metasched.EventReject:
 		rec.State = StateRejected
@@ -363,8 +424,27 @@ func (s *Server) onEvent(e metasched.Event) {
 		rec.Finish = now
 		s.met.Rejected++
 		s.th.rejected.Inc()
+		_ = s.journalLocked(journal.Record{Job: rec.ID, State: StateRejected, Reason: rec.Reason})
 		s.releaseBuildCtxLocked(rec.ID)
 	}
+}
+
+// journalLocked appends one lifecycle transition to the write-ahead
+// journal; callers hold s.mu so the per-job record order on disk matches
+// the in-memory transition order. The admission path refuses the job on
+// error (an unjournaled accept could be silently lost); engine-side
+// callers ignore the error — the transition already happened — and it is
+// surfaced through the JournalErrors counter instead.
+func (s *Server) journalLocked(rec journal.Record) error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	if _, err := s.cfg.Journal.Append(rec); err != nil {
+		s.met.JournalErrors++
+		s.th.journalErrors.Inc()
+		return err
+	}
+	return nil
 }
 
 func (s *Server) releaseBuildCtxLocked(jobName string) {
@@ -438,7 +518,11 @@ func (s *Server) submit(wire jobio.Job, strategyName string, priority int) (*Rec
 	s.met.Submitted++
 	s.th.submitted.Inc()
 	if s.draining {
-		return nil, &SubmitError{Code: CodeDraining, Reason: "service is draining; not accepting work"}
+		return nil, &SubmitError{
+			Code:       CodeDraining,
+			Reason:     "service is draining; not accepting work",
+			RetryAfter: s.cfg.retryAfter(),
+		}
 	}
 	if _, ok := s.records[wire.Name]; ok {
 		return nil, &SubmitError{Code: CodeDuplicate, Reason: fmt.Sprintf("job %q was already submitted", wire.Name)}
@@ -455,6 +539,16 @@ func (s *Server) submit(wire jobio.Job, strategyName string, priority int) (*Rec
 			}
 		}
 		s.shedLocked(victim)
+	}
+	// Write-ahead: the accept is journaled (and made durable under the
+	// journal's fsync policy) before the job exists anywhere in memory, so
+	// an acknowledged submission survives any crash.
+	if err := s.journalLocked(journal.Record{
+		Job: wire.Name, State: StateQueued,
+		Strategy: typ.String(), Priority: priority, Wire: &wire,
+	}); err != nil {
+		return nil, &SubmitError{Code: CodeInternal,
+			Reason: fmt.Sprintf("journal append failed, job not accepted: %v", err)}
 	}
 	rec := s.newRecordLocked(wire.Name, typ, priority, StateQueued)
 	s.met.Accepted++
@@ -477,6 +571,12 @@ func (s *Server) recordRejection(wire jobio.Job, typ strategy.Type, priority int
 	if _, ok := s.records[wire.Name]; ok {
 		return nil
 	}
+	// Ledger the rejection durably too: the duplicate-submit guard must
+	// give the same answer for this ID after a restart.
+	_ = s.journalLocked(journal.Record{
+		Job: wire.Name, State: StateRejected, Reason: reason,
+		Strategy: typ.String(), Priority: priority,
+	})
 	rec := s.newRecordLocked(wire.Name, typ, priority, StateRejected)
 	rec.Reason = reason
 	return rec.clone()
@@ -515,6 +615,7 @@ func (s *Server) shedLocked(i int) {
 	s.queue = append(s.queue[:i], s.queue[i+1:]...)
 	e.rec.State = StateRejected
 	e.rec.Reason = "shed: displaced by higher-priority work under overload"
+	_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateRejected, Reason: e.rec.Reason})
 	s.met.Shed++
 	s.met.Rejected++
 	s.th.shed.Inc()
@@ -603,12 +704,14 @@ func (s *Server) process(e *entry) {
 	s.mu.Lock()
 	e.rec.State = StateScheduled
 	e.rec.Arrival = arrival
+	_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateScheduled})
 	s.mu.Unlock()
 	if err := s.vo.Submit(job, e.typ, arrival); err != nil {
 		s.mu.Lock()
 		e.rec.State = StateRejected
 		e.rec.Reason = err.Error()
 		s.met.Rejected++
+		_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateRejected, Reason: e.rec.Reason})
 		s.mu.Unlock()
 		s.th.rejected.Inc()
 		sp.SetStr("result", "rejected").End()
@@ -650,17 +753,40 @@ func (s *Server) Quiesce() simtime.Time {
 // and marked drained, and in-flight jobs are run to completion — bounded
 // by ctx and the configured DrainTimeout, after which their builds are
 // cancelled and the engine is given one last chance to settle. The VO is
-// closed at the end; Drain is idempotent.
+// closed at the end.
+//
+// Drain is idempotent: concurrent or repeated calls never snapshot twice
+// or race the first — later callers wait for the first drain to finish
+// (or their own ctx) and return its error.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
+		done := s.drainDone
 		s.mu.Unlock()
-		<-s.loopDoneOrClosed()
-		return nil
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		s.mu.Lock()
+		err := s.drainErr
+		s.mu.Unlock()
+		return err
 	}
 	s.draining = true
+	s.drainDone = make(chan struct{})
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	err := s.drain(ctx)
+	s.mu.Lock()
+	s.drainErr = err
+	s.mu.Unlock()
+	close(s.drainDone)
+	return err
+}
+
+// drain is the single-flight body of Drain.
+func (s *Server) drain(ctx context.Context) error {
 	sp := s.spans.Start("service.drain", 0)
 	defer sp.End()
 
@@ -695,20 +821,21 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	s.vo.Close()
 	s.rootCancel()
+	// Fold the final states into a compaction snapshot so the journal
+	// directory is a handful of files after a clean shutdown.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Compact(); err != nil {
+			return fmt.Errorf("service: journal compact on drain: %w", err)
+		}
+	}
 	return nil
 }
 
-func (s *Server) loopDoneOrClosed() <-chan struct{} {
-	if s.loopDone != nil {
-		return s.loopDone
-	}
-	ch := make(chan struct{})
-	close(ch)
-	return ch
-}
-
 // snapshotQueued writes every still-queued job to the snapshot file and
-// marks it drained. With no SnapshotPath the jobs are only marked.
+// marks it drained. With no SnapshotPath the jobs are only marked. The
+// write is atomic and durable (temp file, fsync, rename, dir fsync): a
+// crash mid-drain leaves either no snapshot or a complete one, never a
+// truncated file.
 func (s *Server) snapshotQueued() error {
 	s.mu.Lock()
 	var wires []jobio.Job
@@ -716,6 +843,7 @@ func (s *Server) snapshotQueued() error {
 		wires = append(wires, e.wire)
 		e.rec.State = StateDrained
 		e.rec.Reason = "drained to snapshot on shutdown"
+		_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateDrained, Reason: e.rec.Reason})
 		s.met.Drained++
 		s.th.drained.Inc()
 	}
@@ -726,15 +854,117 @@ func (s *Server) snapshotQueued() error {
 	if len(wires) == 0 || path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
+	if err := atomicfile.WriteFile(path, func(w io.Writer) error {
+		return jobio.WriteJobs(w, wires)
+	}); err != nil {
 		return fmt.Errorf("service: snapshot: %w", err)
 	}
-	if err := jobio.WriteJobs(f, wires); err != nil {
-		f.Close()
-		return fmt.Errorf("service: snapshot: %w", err)
+	return nil
+}
+
+// Restore rebuilds the service's state from a journal recovery. Call it
+// after New and before Start (or any Submit). Terminal jobs are ledgered
+// so the duplicate-submit guard survives the restart but are never
+// re-executed; non-terminal jobs (queued or scheduled when the process
+// died) are re-enqueued through the same duplicate guard as client
+// submissions — so across any crash/restart sequence an accepted job
+// reaches a terminal state exactly once. Restore itself is idempotent: a
+// second call finds every ID already ledgered and suppresses it.
+func (s *Server) Restore(rec *journal.Recovery) (RecoveryStats, error) {
+	if rec == nil {
+		return RecoveryStats{}, nil
 	}
-	return f.Close()
+	start := time.Now()
+	stats := RecoveryStats{TornBytes: rec.TornBytes, LastLSN: rec.LastLSN}
+
+	s.mu.Lock()
+	for _, js := range rec.Jobs {
+		if _, ok := s.records[js.Job]; ok {
+			stats.DuplicatesSuppressed++
+			continue
+		}
+		typ, terr := strategy.ParseType(js.Strategy)
+		if Terminal(js.State) {
+			r := s.newRecordLocked(js.Job, typ, js.Priority, js.State)
+			r.Reason = js.Reason
+			stats.Restored++
+			stats.Terminal++
+			continue
+		}
+		// Non-terminal: rebuild and re-enqueue. A journal entry that can
+		// no longer build (lost wire form, unknown strategy, invalid
+		// graph) is ledgered as rejected rather than dropped silently.
+		reject := func(reason string) {
+			r := s.newRecordLocked(js.Job, typ, js.Priority, StateRejected)
+			r.Reason = reason
+			_ = s.journalLocked(journal.Record{Job: js.Job, State: StateRejected, Reason: reason})
+			s.met.Rejected++
+			s.th.rejected.Inc()
+			stats.Restored++
+			stats.Invalid++
+		}
+		if js.Wire == nil {
+			reject("recovery: journal entry has no wire payload")
+			continue
+		}
+		if terr != nil {
+			reject(fmt.Sprintf("recovery: %v", terr))
+			continue
+		}
+		job, err := js.Wire.ToJob()
+		if err != nil {
+			reject(fmt.Sprintf("recovery: %v", err))
+			continue
+		}
+		r := s.newRecordLocked(js.Job, typ, js.Priority, StateQueued)
+		s.queue = append(s.queue, &entry{rec: r, job: job, wire: *js.Wire, typ: typ})
+		// Re-journal the accept: after the post-restore compaction the
+		// journal stays self-contained even though the original admission
+		// record is gone.
+		_ = s.journalLocked(journal.Record{
+			Job: js.Job, State: StateQueued,
+			Strategy: typ.String(), Priority: js.Priority, Wire: js.Wire,
+		})
+		s.met.Accepted++
+		s.th.accepted.Inc()
+		stats.Restored++
+		stats.Requeued++
+	}
+	s.th.queueDepth.Set(float64(len(s.queue)))
+	if d := len(s.queue); d > s.met.QueueHighWater {
+		s.met.QueueHighWater = d
+		s.th.queueHighWater.Set(float64(d))
+	}
+	s.cond.Broadcast()
+	stats.ReplaySeconds = time.Since(start).Seconds()
+	s.recovery = &stats
+	s.mu.Unlock()
+
+	s.th.recoveredRequeued.Set(float64(stats.Requeued))
+	s.th.recoveredTerminal.Set(float64(stats.Terminal))
+	s.th.recoveryDuplicates.Set(float64(stats.DuplicatesSuppressed))
+	s.th.replaySeconds.Observe(stats.ReplaySeconds)
+
+	// Fold the restored state into a fresh snapshot: replay cost stays
+	// bounded no matter how many crash/restart cycles the journal lived
+	// through.
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.Compact(); err != nil {
+			return stats, fmt.Errorf("service: compact after restore: %w", err)
+		}
+	}
+	return stats, nil
+}
+
+// Recovery returns the stats of the last Restore, or nil when none ran.
+func (s *Server) Recovery() *RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovery == nil {
+		return nil
+	}
+	cp := *s.recovery
+	return &cp
 }
 
 // Job returns a copy of the record for id.
