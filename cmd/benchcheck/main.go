@@ -47,33 +47,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	seqNs, err := bestNsPerOp(*seqPath, *bench)
+	r, err := compare(*seqPath, *parPath, *bench, *minSpeedup)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
-	parNs, err := bestNsPerOp(*parPath, *bench)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(2)
-	}
-
-	r := result{
-		Benchmark:    *bench,
-		SequentialNs: seqNs,
-		ParallelNs:   parNs,
-		Speedup:      seqNs / parNs,
-		MinSpeedup:   *minSpeedup,
-	}
-	r.Pass = r.Speedup > r.MinSpeedup
-
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		os.Exit(2)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+	if err := writeResult(*outPath, r); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
@@ -83,6 +62,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL — the parallel run is not faster than the sequential one")
 		os.Exit(1)
 	}
+}
+
+// compare reads both benchmark outputs and builds the comparison record.
+// The gate is strict: a speedup exactly equal to minSpeedup fails, so a
+// default of 1.0 demands that parallelism actually pays.
+func compare(seqPath, parPath, bench string, minSpeedup float64) (result, error) {
+	seqNs, err := bestNsPerOp(seqPath, bench)
+	if err != nil {
+		return result{}, err
+	}
+	parNs, err := bestNsPerOp(parPath, bench)
+	if err != nil {
+		return result{}, err
+	}
+	r := result{
+		Benchmark:    bench,
+		SequentialNs: seqNs,
+		ParallelNs:   parNs,
+		Speedup:      seqNs / parNs,
+		MinSpeedup:   minSpeedup,
+	}
+	r.Pass = r.Speedup > r.MinSpeedup
+	return r, nil
+}
+
+// writeResult marshals the record to path (indented, trailing newline).
+func writeResult(path string, r result) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // bestNsPerOp scans `go test -bench` output for the named benchmark and

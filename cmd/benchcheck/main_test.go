@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench drops a fake `go test -bench` output file and returns its path.
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const seqOut = `goos: linux
+goarch: amd64
+pkg: repro/internal/sched
+BenchmarkFig3aAdmissibility-8   	     100	   2000000 ns/op	  512 B/op	      12 allocs/op
+BenchmarkFig3aAdmissibility-8   	     100	   1800000 ns/op	  512 B/op	      12 allocs/op
+BenchmarkOther-8                	    1000	     50000 ns/op
+PASS
+`
+
+const parOut = `BenchmarkFig3aAdmissibility-8   	     200	    900000 ns/op
+BenchmarkFig3aAdmissibility-8   	     200	    950000 ns/op
+PASS
+`
+
+func TestBestNsPerOp(t *testing.T) {
+	seq := writeBench(t, "seq.txt", seqOut)
+	got, err := bestNsPerOp(seq, "BenchmarkFig3aAdmissibility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -count 2 produced two lines; the best (minimum) wins.
+	if got != 1800000 {
+		t.Errorf("bestNsPerOp = %v, want 1800000", got)
+	}
+	// An exact name (no -P suffix) must also match.
+	bare := writeBench(t, "bare.txt", "BenchmarkFig3aAdmissibility 10 42 ns/op\n")
+	if got, err := bestNsPerOp(bare, "BenchmarkFig3aAdmissibility"); err != nil || got != 42 {
+		t.Errorf("bare name: got %v, %v", got, err)
+	}
+	// A benchmark whose name merely shares a prefix must not match.
+	if _, err := bestNsPerOp(seq, "BenchmarkFig3"); err == nil {
+		t.Error("prefix-only name matched")
+	}
+}
+
+func TestBestNsPerOpErrors(t *testing.T) {
+	if _, err := bestNsPerOp(filepath.Join(t.TempDir(), "missing.txt"), "X"); err == nil {
+		t.Error("missing file succeeded")
+	}
+	empty := writeBench(t, "empty.txt", "PASS\n")
+	if _, err := bestNsPerOp(empty, "BenchmarkFig3aAdmissibility"); err == nil || !strings.Contains(err.Error(), "no") {
+		t.Errorf("missing benchmark: err = %v", err)
+	}
+	bad := writeBench(t, "bad.txt", "BenchmarkFig3aAdmissibility-8 100 oops ns/op\n")
+	if _, err := bestNsPerOp(bad, "BenchmarkFig3aAdmissibility"); err == nil || !strings.Contains(err.Error(), "bad ns/op") {
+		t.Errorf("malformed ns/op: err = %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	seq := writeBench(t, "seq.txt", seqOut)
+	par := writeBench(t, "par.txt", parOut)
+	r, err := compare(seq, par, "BenchmarkFig3aAdmissibility", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SequentialNs != 1800000 || r.ParallelNs != 900000 {
+		t.Errorf("ns: %+v", r)
+	}
+	if r.Speedup != 2.0 || !r.Pass {
+		t.Errorf("speedup 2.0 at min 1.0 should pass: %+v", r)
+	}
+	// The boundary is strict: speedup == minSpeedup fails.
+	r, err = compare(seq, par, "BenchmarkFig3aAdmissibility", 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pass {
+		t.Errorf("speedup exactly at min must fail: %+v", r)
+	}
+	r, err = compare(seq, par, "BenchmarkFig3aAdmissibility", 1.99)
+	if err != nil || !r.Pass {
+		t.Errorf("speedup just above min must pass: %+v, %v", r, err)
+	}
+	// Errors from either side propagate.
+	if _, err := compare(seq, par, "BenchmarkNope", 1.0); err == nil {
+		t.Error("unknown benchmark compared")
+	}
+}
+
+func TestWriteResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	in := result{Benchmark: "B", SequentialNs: 2, ParallelNs: 1, Speedup: 2, MinSpeedup: 1, Pass: true}
+	if err := writeResult(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("artifact missing trailing newline")
+	}
+	var out result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+}

@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobio"
+	"repro/internal/scalereport"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// submitBody mirrors service.SubmitRequest on the wire.
+type submitBody struct {
+	jobio.Job
+	Strategy string `json:"strategy,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
+// httpState accumulates results across submitter goroutines.
+type httpState struct {
+	mu             sync.Mutex
+	det            scalereport.Deterministic
+	clientLat      []float64
+	accepted       map[string]bool
+	backoffRetries int
+	backoffSeconds float64
+}
+
+// runHTTP paces the arrival schedule on the wall clock against a live
+// daemon: each arrival fires at start + At·tick on its own goroutine, so
+// a slow or shedding server never slows the offered load (open loop).
+// After the last response the harness waits for accepted jobs to reach a
+// terminal state, then reads the server-side counters and scrapes
+// /metrics for the admission-latency histogram.
+func runHTTP(o options) (*scalereport.Report, error) {
+	gen := workload.New(workloadConfig(o))
+	flow := gen.FlowWith(o.spec, 0, o.jobs, 0)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var m0 service.Metrics
+	if err := getJSON(client, o.target+"/v1/metrics", &m0); err != nil {
+		return nil, fmt.Errorf("target %s unreachable: %w", o.target, err)
+	}
+
+	st := &httpState{accepted: make(map[string]bool)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, a := range flow {
+		due := start.Add(time.Duration(float64(a.At) * float64(o.tick)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, a workload.Arrival) {
+			defer wg.Done()
+			submitHTTP(o, client, st, i, a)
+		}(i, a)
+	}
+	wg.Wait()
+
+	// Wait for every accepted job to turn terminal (goodput needs the
+	// completions, not just the 202s).
+	deadline := time.Now().Add(o.wait)
+	for {
+		var recs []service.Record
+		if err := getJSON(client, o.target+"/v1/jobs", &recs); err != nil {
+			return nil, fmt.Errorf("poll jobs: %w", err)
+		}
+		pending := 0
+		terminal := map[string]uint64{}
+		for _, r := range recs {
+			if !st.accepted[r.ID] {
+				continue
+			}
+			if service.Terminal(r.State) {
+				terminal[r.State]++
+			} else {
+				pending++
+			}
+		}
+		if pending == 0 || time.Now().After(deadline) {
+			if pending > 0 {
+				fmt.Fprintf(os.Stderr, "gridload: %d accepted jobs still pending after %s\n", pending, o.wait)
+			}
+			st.det.TerminalByState = terminal
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	elapsed := time.Since(start).Seconds()
+
+	var m1 service.Metrics
+	if err := getJSON(client, o.target+"/v1/metrics", &m1); err != nil {
+		return nil, fmt.Errorf("final metrics: %w", err)
+	}
+	det := st.det
+	det.Submitted = m1.Submitted - m0.Submitted
+	det.Accepted = m1.Accepted - m0.Accepted
+	det.Completed = m1.Completed - m0.Completed
+	det.Rejected = m1.Rejected - m0.Rejected
+	det.Shed = m1.Shed - m0.Shed
+	det.Infeasible = m1.Infeasible - m0.Infeasible
+	det.Overloaded = m1.Overloaded - m0.Overloaded
+	det.Drained = m1.Drained - m0.Drained
+	det.QueueHighWater = m1.QueueHighWater
+	det.EngineTicks = m1.EngineNow
+	if ticks := m1.EngineNow - m0.EngineNow; ticks > 0 {
+		det.GoodputPerKTicks = float64(det.Completed) * 1000 / float64(ticks)
+	}
+
+	p50, p95, p99, p999, err := scrapeQueueWait(client, o.target)
+	if err != nil {
+		return nil, err
+	}
+	wall := scalereport.WallClock{
+		ElapsedSeconds: elapsed,
+		AdmissionP50:   p50, AdmissionP95: p95, AdmissionP99: p99, AdmissionP999: p999,
+		ClientP50:      scalereport.Percentile(st.clientLat, 0.5),
+		ClientP95:      scalereport.Percentile(st.clientLat, 0.95),
+		ClientP99:      scalereport.Percentile(st.clientLat, 0.99),
+		ClientP999:     scalereport.Percentile(st.clientLat, 0.999),
+		BackoffRetries: st.backoffRetries,
+		BackoffSeconds: st.backoffSeconds,
+	}
+	if elapsed > 0 {
+		wall.GoodputJobsPerSec = float64(det.Completed) / elapsed
+	}
+	return &scalereport.Report{
+		Schema:        scalereport.Schema,
+		Config:        runConfig(o),
+		Deterministic: det,
+		Wall:          wall,
+	}, nil
+}
+
+// submitHTTP posts one job, honoring Retry-After backoff on 429/503 for
+// up to two retries when configured. The recorded client latency spans
+// the first POST through the final response, backoff included — that is
+// what a well-behaved client actually experiences end to end.
+func submitHTTP(o options, client *http.Client, st *httpState, i int, a workload.Arrival) {
+	wire := jobio.FromJob(a.Job)
+	wire.Deadline = int64(a.Job.Deadline - a.At)
+	body, err := json.Marshal(submitBody{Job: wire, Strategy: o.strategy, Priority: i % o.priorities})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridload: marshal %s: %v\n", wire.Name, err)
+		return
+	}
+	t0 := time.Now()
+	var status int
+	var retries int
+	var backoff float64
+	for {
+		resp, err := client.Post(o.target+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridload: post %s: %v\n", wire.Name, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status = resp.StatusCode
+		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			break
+		}
+		secs, ok := parseRetryAfter(resp)
+		st.mu.Lock()
+		if !ok {
+			st.det.RetryAfterViolations++
+		}
+		st.mu.Unlock()
+		if !o.honorRetry || retries >= 2 {
+			break
+		}
+		if !ok {
+			secs = 1
+		}
+		retries++
+		backoff += float64(secs)
+		time.Sleep(time.Duration(secs) * time.Second)
+	}
+	lat := time.Since(t0).Seconds()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.clientLat = append(st.clientLat, lat)
+	st.backoffRetries += retries
+	st.backoffSeconds += backoff
+	switch status {
+	case http.StatusAccepted:
+		st.det.ClientAccepted++
+		st.accepted[wire.Name] = true
+	case http.StatusTooManyRequests:
+		st.det.Client429++
+	case http.StatusServiceUnavailable:
+		st.det.Client503++
+	case http.StatusUnprocessableEntity:
+		// Infeasible: counted server-side.
+	default:
+		fmt.Fprintf(os.Stderr, "gridload: %s: unexpected status %d\n", wire.Name, status)
+	}
+}
+
+// parseRetryAfter extracts a positive whole-seconds Retry-After hint.
+func parseRetryAfter(resp *http.Response) (int, bool) {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return 0, false
+	}
+	return secs, true
+}
+
+// getJSON fetches url and decodes the body.
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// scrapeQueueWait reads the Prometheus exposition from /metrics and
+// estimates the queue-wait percentiles from the fixed buckets — the same
+// linear-interpolation estimate telemetry.Histogram.Quantile computes
+// in process, demonstrating that p99 is recoverable from scrape data.
+func scrapeQueueWait(client *http.Client, target string) (p50, p95, p99, p999 float64, err error) {
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	bounds, cums, err := parseBuckets(string(data), "grid_service_queue_wait_seconds_bucket")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	q := func(p float64) float64 { return finiteOrZero(bucketQuantile(bounds, cums, p)) }
+	return q(0.5), q(0.95), q(0.99), q(0.999), nil
+}
+
+// parseBuckets extracts a histogram's cumulative buckets from Prometheus
+// text format: `name{le="BOUND"} COUNT` lines, +Inf included. Bounds are
+// returned ascending with the +Inf bucket last.
+func parseBuckets(text, name string) (bounds []float64, cums []uint64, err error) {
+	type bkt struct {
+		le  float64
+		cum uint64
+	}
+	var bkts []bkt
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		leStart := strings.Index(line, `le="`)
+		if leStart < 0 {
+			continue
+		}
+		rest := line[leStart+4:]
+		leEnd := strings.Index(rest, `"`)
+		if leEnd < 0 {
+			continue
+		}
+		leStr := rest[:leEnd]
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		cum, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse %s: bad count in %q", name, line)
+		}
+		le := 0.0
+		if leStr == "+Inf" {
+			le = infBound
+		} else if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+			return nil, nil, fmt.Errorf("parse %s: bad le in %q", name, line)
+		}
+		bkts = append(bkts, bkt{le: le, cum: cum})
+	}
+	if len(bkts) == 0 {
+		return nil, nil, fmt.Errorf("no %s series in scrape", name)
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for _, b := range bkts {
+		bounds = append(bounds, b.le)
+		cums = append(cums, b.cum)
+	}
+	return bounds, cums, nil
+}
+
+// infBound stands in for +Inf while sorting parsed buckets.
+const infBound = 1e308
+
+// bucketQuantile mirrors telemetry.Histogram.Quantile over parsed
+// cumulative buckets (bounds ascending, +Inf last as infBound).
+func bucketQuantile(bounds []float64, cums []uint64, q float64) float64 {
+	n := len(bounds)
+	if n == 0 || cums[n-1] == 0 {
+		return 0
+	}
+	total := cums[n-1]
+	rank := q * float64(total)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		cum := cums[i]
+		if float64(cum) < rank || cum == prev {
+			prev = cum
+			continue
+		}
+		upper := bounds[i]
+		if upper == infBound {
+			if i == 0 {
+				return 0
+			}
+			return bounds[i-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		} else if upper <= 0 {
+			lower = upper
+		}
+		inBucket := float64(cum - prev)
+		frac := (rank - float64(prev)) / inBucket
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	return bounds[n-1]
+}

@@ -1,0 +1,99 @@
+// Command scalecheck is the CI gate over cmd/gridload's BENCH_scale.json
+// artifact. It applies two kinds of checks (either or both):
+//
+//   - -baseline: diff the current report against a committed baseline.
+//     The deterministic section (admission counts, terminal states,
+//     model-time goodput) must match exactly — any drift is a behavioral
+//     scheduler regression, or an intentional change that must re-commit
+//     the baseline. The wall-clock section is gated with per-metric
+//     tolerances: goodput may not drop below baseline × -min-goodput-ratio,
+//     and the admission p99 may not exceed baseline × -max-p99-ratio once
+//     past the -p99-floor noise threshold.
+//   - -expect-identical: diff two fresh runs of the same scenario and
+//     fail on any deterministic divergence — the reproducibility check
+//     the in-process path guarantees.
+//
+// Usage:
+//
+//	scalecheck -current BENCH_scale.json -baseline BENCH_scale_baseline.json
+//	scalecheck -current run1.json -expect-identical run2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scalereport"
+)
+
+func main() {
+	var (
+		current    = flag.String("current", "BENCH_scale.json", "report from this run")
+		baseline   = flag.String("baseline", "", "committed baseline to gate against")
+		identical  = flag.String("expect-identical", "", "second fresh run that must match -current deterministically")
+		minGoodput = flag.Float64("min-goodput-ratio", scalereport.DefaultGate().MinGoodputRatio, "fail when wall goodput < baseline × ratio")
+		maxP99     = flag.Float64("max-p99-ratio", scalereport.DefaultGate().MaxP99Ratio, "fail when admission p99 > baseline × ratio")
+		p99Floor   = flag.Float64("p99-floor", scalereport.DefaultGate().P99FloorSeconds, "p99 below this many seconds never fails the gate")
+	)
+	flag.Parse()
+	if *baseline == "" && *identical == "" {
+		fmt.Fprintln(os.Stderr, "scalecheck: at least one of -baseline or -expect-identical is required")
+		os.Exit(2)
+	}
+
+	cur, err := scalereport.Load(*current)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	if *identical != "" {
+		other, err := scalereport.Load(*identical)
+		if err != nil {
+			fatal(err)
+		}
+		if diffs := scalereport.CompareDeterministic(cur, other); len(diffs) > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "scalecheck: FAIL — same-seed runs diverge (determinism broken):\n")
+			printAll(diffs)
+		} else {
+			fmt.Printf("scalecheck: determinism OK — %s and %s agree on all deterministic fields\n", *current, *identical)
+		}
+	}
+	if *baseline != "" {
+		base, err := scalereport.Load(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if diffs := scalereport.CompareDeterministic(cur, base); len(diffs) > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "scalecheck: FAIL — deterministic drift vs baseline %s:\n", *baseline)
+			printAll(diffs)
+		}
+		opt := scalereport.GateOptions{MinGoodputRatio: *minGoodput, MaxP99Ratio: *maxP99, P99FloorSeconds: *p99Floor}
+		if fails := scalereport.GateWall(cur, base, opt); len(fails) > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "scalecheck: FAIL — wall-clock gate vs baseline %s:\n", *baseline)
+			printAll(fails)
+		}
+		if !failed {
+			fmt.Printf("scalecheck: OK — goodput %.1f jobs/s (baseline %.1f), admission p99 %.4fs (baseline %.4fs), deterministic section identical\n",
+				cur.Wall.GoodputJobsPerSec, base.Wall.GoodputJobsPerSec,
+				cur.Wall.AdmissionP99, base.Wall.AdmissionP99)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printAll(msgs []string) {
+	for _, m := range msgs {
+		fmt.Fprintf(os.Stderr, "  - %s\n", m)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "scalecheck: %v\n", err)
+	os.Exit(2)
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -62,14 +63,26 @@ func (s *Server) Handler() http.Handler {
 
 // healthzBody is the GET /healthz response: liveness plus, when a journal
 // is configured, its activity stats and the outcome of startup recovery.
+// QueueWaitP50/P99 estimate the admission-latency distribution (seconds
+// spent in the queue) from the service histogram; they are omitted until
+// at least one job has been dequeued.
 type healthzBody struct {
-	Status   string         `json:"status"`
-	Journal  *journal.Stats `json:"journal,omitempty"`
-	Recovery *RecoveryStats `json:"recovery,omitempty"`
+	Status       string         `json:"status"`
+	QueueWaitP50 *float64       `json:"queueWaitP50,omitempty"`
+	QueueWaitP99 *float64       `json:"queueWaitP99,omitempty"`
+	Journal      *journal.Stats `json:"journal,omitempty"`
+	Recovery     *RecoveryStats `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := healthzBody{Status: "ok", Recovery: s.Recovery()}
+	// NaN (empty histogram) does not marshal; only finite estimates ship.
+	if p50 := s.th.queueWait.Quantile(0.5); !math.IsNaN(p50) {
+		body.QueueWaitP50 = &p50
+	}
+	if p99 := s.th.queueWait.Quantile(0.99); !math.IsNaN(p99) {
+		body.QueueWaitP99 = &p99
+	}
 	if s.cfg.Journal != nil {
 		st := s.cfg.Journal.Stats()
 		body.Journal = &st

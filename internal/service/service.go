@@ -105,6 +105,17 @@ type Config struct {
 	// journal so accepted jobs survive SIGKILL, OOM and power loss. nil
 	// keeps the pre-journal behavior byte-identical.
 	Journal *journal.Journal
+	// OnTerminal, when non-nil, is called exactly once per job the moment
+	// its record reaches a terminal state (completed, rejected or
+	// drained), with a copy of the record. It is the push-based
+	// terminal-state stream the scale harness (cmd/gridload) uses to
+	// measure goodput without polling the job registry. The callback runs
+	// synchronously on the goroutine driving the transition while the
+	// service's internal lock is held: it must return quickly and must
+	// not call back into the Server. Jobs restored from the journal
+	// already in a terminal state do not re-fire; terminal transitions
+	// that happen during Restore (invalid payloads rejected) do.
+	OnTerminal func(Record)
 }
 
 func (c Config) queueCap() int {
@@ -417,6 +428,7 @@ func (s *Server) onEvent(e metasched.Event) {
 		s.met.Completed++
 		s.th.completed.Inc()
 		_ = s.journalLocked(journal.Record{Job: rec.ID, State: StateCompleted})
+		s.notifyTerminalLocked(rec)
 		s.releaseBuildCtxLocked(rec.ID)
 	case metasched.EventReject:
 		rec.State = StateRejected
@@ -425,6 +437,7 @@ func (s *Server) onEvent(e metasched.Event) {
 		s.met.Rejected++
 		s.th.rejected.Inc()
 		_ = s.journalLocked(journal.Record{Job: rec.ID, State: StateRejected, Reason: rec.Reason})
+		s.notifyTerminalLocked(rec)
 		s.releaseBuildCtxLocked(rec.ID)
 	}
 }
@@ -445,6 +458,15 @@ func (s *Server) journalLocked(rec journal.Record) error {
 		return err
 	}
 	return nil
+}
+
+// notifyTerminalLocked fires the terminal-state stream for rec; callers
+// hold s.mu and must invoke it exactly once, at the transition into the
+// terminal state.
+func (s *Server) notifyTerminalLocked(rec *Record) {
+	if s.cfg.OnTerminal != nil {
+		s.cfg.OnTerminal(*rec)
+	}
 }
 
 func (s *Server) releaseBuildCtxLocked(jobName string) {
@@ -579,6 +601,7 @@ func (s *Server) recordRejection(wire jobio.Job, typ strategy.Type, priority int
 	})
 	rec := s.newRecordLocked(wire.Name, typ, priority, StateRejected)
 	rec.Reason = reason
+	s.notifyTerminalLocked(rec)
 	return rec.clone()
 }
 
@@ -616,6 +639,7 @@ func (s *Server) shedLocked(i int) {
 	e.rec.State = StateRejected
 	e.rec.Reason = "shed: displaced by higher-priority work under overload"
 	_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateRejected, Reason: e.rec.Reason})
+	s.notifyTerminalLocked(e.rec)
 	s.met.Shed++
 	s.met.Rejected++
 	s.th.shed.Inc()
@@ -712,6 +736,7 @@ func (s *Server) process(e *entry) {
 		e.rec.Reason = err.Error()
 		s.met.Rejected++
 		_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateRejected, Reason: e.rec.Reason})
+		s.notifyTerminalLocked(e.rec)
 		s.mu.Unlock()
 		s.th.rejected.Inc()
 		sp.SetStr("result", "rejected").End()
@@ -844,6 +869,7 @@ func (s *Server) snapshotQueued() error {
 		e.rec.State = StateDrained
 		e.rec.Reason = "drained to snapshot on shutdown"
 		_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateDrained, Reason: e.rec.Reason})
+		s.notifyTerminalLocked(e.rec)
 		s.met.Drained++
 		s.th.drained.Inc()
 	}
@@ -898,6 +924,7 @@ func (s *Server) Restore(rec *journal.Recovery) (RecoveryStats, error) {
 			r := s.newRecordLocked(js.Job, typ, js.Priority, StateRejected)
 			r.Reason = reason
 			_ = s.journalLocked(journal.Record{Job: js.Job, State: StateRejected, Reason: reason})
+			s.notifyTerminalLocked(r)
 			s.met.Rejected++
 			s.th.rejected.Inc()
 			stats.Restored++

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestOnTerminalStream drives every terminal path the service has —
+// completion, infeasible admission rejection, overload shedding and a
+// drain of still-queued work — and asserts the terminal-state stream
+// fires exactly once per job with a state matching the ledger.
+func TestOnTerminalStream(t *testing.T) {
+	var events []Record
+	s := newServer(t, Config{
+		QueueCap:   2,
+		OnTerminal: func(r Record) { events = append(events, r) },
+	})
+
+	// Two jobs complete normally.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(wireJob(fmt.Sprintf("ok%d", i), 60), "S1", 0); err != nil {
+			t.Fatalf("submit ok%d: %v", i, err)
+		}
+	}
+	s.Process(-1)
+	s.Quiesce()
+
+	// One infeasible rejection at admission (critical path is 5).
+	if _, err := s.Submit(wireJob("tight", 3), "S1", 0); submitCode(err) != CodeInfeasible {
+		t.Fatalf("tight: err = %v", err)
+	}
+
+	// Fill the queue, then shed the low-priority job with a higher one.
+	if _, err := s.Submit(wireJob("low", 60), "S1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(wireJob("mid", 60), "S1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(wireJob("high", 60), "S1", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain with "mid" and "high" still queued: both stream as drained.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	want := map[string]string{
+		"ok0":   StateCompleted,
+		"ok1":   StateCompleted,
+		"tight": StateRejected,
+		"low":   StateRejected, // shed
+		"mid":   StateDrained,
+		"high":  StateDrained,
+	}
+	seen := map[string]int{}
+	for _, ev := range events {
+		seen[ev.ID]++
+		if !Terminal(ev.State) {
+			t.Errorf("%s: streamed non-terminal state %q", ev.ID, ev.State)
+		}
+		if wantState, ok := want[ev.ID]; !ok || ev.State != wantState {
+			t.Errorf("%s: streamed state %q, want %q", ev.ID, ev.State, wantState)
+		}
+	}
+	for id := range want {
+		if seen[id] != 1 {
+			t.Errorf("%s: terminal stream fired %d times, want exactly 1", id, seen[id])
+		}
+	}
+	// The stream must agree with the ledger.
+	for _, rec := range s.Jobs() {
+		if Terminal(rec.State) && seen[rec.ID] != 1 {
+			t.Errorf("%s: terminal in ledger (%s) but streamed %d times", rec.ID, rec.State, seen[rec.ID])
+		}
+	}
+}
+
+// TestOnTerminalNotFiredForRestoredTerminal: jobs already terminal in the
+// journal are re-ledgered on Restore but must not re-fire the stream.
+func TestOnTerminalNotFiredForRestoredTerminal(t *testing.T) {
+	dir := t.TempDir()
+	jnl, _ := openJournal(t, dir)
+	var first []Record
+	s1 := newServer(t, Config{Journal: jnl, OnTerminal: func(r Record) { first = append(first, r) }})
+	if _, err := s1.Submit(wireJob("done", 60), "S1", 0); err != nil {
+		t.Fatal(err)
+	}
+	s1.Process(-1)
+	s1.Quiesce()
+	if len(first) != 1 || first[0].State != StateCompleted {
+		t.Fatalf("first life events = %+v", first)
+	}
+	jnl.Close()
+
+	jnl2, recovery := openJournal(t, dir)
+	defer jnl2.Close()
+	var second []Record
+	s2 := newServer(t, Config{Journal: jnl2, OnTerminal: func(r Record) { second = append(second, r) }})
+	if _, err := s2.Restore(recovery); err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != 0 {
+		t.Errorf("restored terminal job re-fired the stream: %+v", second)
+	}
+}

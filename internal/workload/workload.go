@@ -247,16 +247,8 @@ type Arrival struct {
 // Flow generates n jobs with exponential inter-arrival times starting at
 // `start`. The stream index decorrelates parallel flows. Each job's fixed
 // completion time is re-anchored at its arrival: deadline = arrival +
-// DeadlineFactor × critical path.
+// DeadlineFactor × critical path. Flow is the Poisson case of FlowWith
+// (byte-identical, guarded by TestFlowWithPoissonMatchesFlow).
 func (g *Generator) Flow(stream, n int, start simtime.Time) []Arrival {
-	r := g.jobRNG(0xF10_0000 + uint64(stream))
-	out := make([]Arrival, n)
-	t := float64(start)
-	for i := range out {
-		t += r.Exp(g.cfg.MeanInterarrival)
-		at := simtime.Time(t)
-		job := g.Job(stream*1_000_000 + i)
-		out[i] = Arrival{Job: job.WithDeadline(at + job.Deadline), At: at}
-	}
-	return out
+	return g.FlowWith(ArrivalSpec{Kind: ProcPoisson}, stream, n, start)
 }
