@@ -59,6 +59,7 @@ func main() {
 		buildTimeout = flag.Duration("build-timeout", 30*time.Second, "per-job strategy build budget (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
 		workers      = flag.Int("workers", 0, "parallel per-level build workers (0 = sequential)")
+		placers      = flag.Int("placers", 0, "concurrent optimistic placers per arrival batch (≤1 = classic single-writer placement)")
 		brThreshold  = flag.Int("breaker-threshold", 5, "consecutive failures that trip a domain breaker (0 disables breakers)")
 		taskFailRate = flag.Float64("task-fail-rate", 0, "per-activation mid-run task failure probability (chaos mode)")
 		mtbf         = flag.Float64("mtbf", 0, "mean model time between node outages (0 disables outages)")
@@ -141,6 +142,7 @@ func main() {
 		Sched: metasched.Config{
 			Seed:    *seed,
 			Workers: *workers,
+			Placers: *placers,
 			Tracer:  tracer,
 			Spans:   spans,
 			Faults: faults.Config{

@@ -38,7 +38,7 @@ func runInProcess(o options) (*scalereport.Report, error) {
 		Env:       env,
 		QueueCap:  o.queue,
 		Telemetry: reg,
-		Sched:     metasched.Config{Seed: o.seed, Workers: o.workers},
+		Sched:     metasched.Config{Seed: o.seed, Workers: o.workers, Placers: o.placers},
 		OnTerminal: func(r service.Record) {
 			terminal[r.State]++
 		},
@@ -112,6 +112,9 @@ func runInProcess(o options) (*scalereport.Report, error) {
 	if m.EngineNow > 0 {
 		det.GoodputPerKTicks = float64(m.Completed) * 1000 / float64(m.EngineNow)
 	}
+	det.PlacerCommits = reg.Counter("grid_placer_commits_total", "").Value()
+	det.PlacerConflicts = reg.Counter("grid_placer_conflicts_total", "").Value()
+	det.PlacerRetries = reg.Counter("grid_placer_retries_total", "").Value()
 
 	// Admission-latency percentiles from the same fixed-bucket histogram
 	// /metrics exposes, via telemetry.Quantile.

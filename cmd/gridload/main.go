@@ -55,6 +55,7 @@ type options struct {
 	burst      int
 	proc       int
 	workers    int
+	placers    int
 	tick       time.Duration
 	honorRetry bool
 	wait       time.Duration
@@ -80,6 +81,7 @@ func main() {
 		burst      = flag.Int("burst", 16, "inprocess: arrivals submitted between scheduling steps")
 		proc       = flag.Int("proc", 12, "inprocess: jobs scheduled per step (proc < burst builds overload)")
 		workers    = flag.Int("workers", 0, "parallel per-level build workers (0 = sequential, required for determinism diffs)")
+		placers    = flag.Int("placers", 0, "inprocess: concurrent optimistic placers per scheduling step (≤1 = classic single-writer placement)")
 		tick       = flag.Duration("tick", 5*time.Millisecond, "http: wall-clock duration of one model tick (arrival pacing)")
 		honorRetry = flag.Bool("honor-retry-after", true, "http: back off and retry per the Retry-After hint on 429/503")
 		wait       = flag.Duration("wait", 60*time.Second, "http: how long to wait for accepted jobs to reach a terminal state")
@@ -101,7 +103,7 @@ func main() {
 		},
 		mean: *mean, strategy: *strategy, priorities: *priorities,
 		domains: *domains, queue: *queue, burst: *burst, proc: *proc,
-		workers: *workers, tick: *tick, honorRetry: *honorRetry,
+		workers: *workers, placers: *placers, tick: *tick, honorRetry: *honorRetry,
 		wait: *wait, out: *out,
 	}
 	rep, err := run(o)
@@ -163,5 +165,6 @@ func runConfig(o options) scalereport.RunConfig {
 		Seed: o.seed, Jobs: o.jobs, QueueCap: o.queue, Domains: o.domains,
 		Burst: o.burst, Proc: o.proc, Priorities: o.priorities,
 		MeanInterarrival: workloadConfig(o).MeanInterarrival,
+		Placers:          o.placers,
 	}
 }

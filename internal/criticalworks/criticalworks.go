@@ -171,6 +171,21 @@ func Snapshot(env *resource.Environment) Calendars {
 	return out
 }
 
+// SnapshotVersioned clones the live calendars of every node in env and
+// records the generation each one carried, forming the read-set for
+// optimistic placement proposals (resource.Proposal, DESIGN.md §12):
+// a commit whose node generations still match needs no re-validation.
+func SnapshotVersioned(env *resource.Environment) (Calendars, map[resource.NodeID]uint64) {
+	out := make(Calendars, env.NumNodes())
+	gens := make(map[resource.NodeID]uint64, env.NumNodes())
+	for _, n := range env.Nodes() {
+		cal := n.Calendar()
+		out[n.ID] = cal.Clone()
+		gens[n.ID] = cal.Gen()
+	}
+	return out, gens
+}
+
 // Live returns a view over the nodes' real calendars, without cloning.
 // Build mutates whatever view it is given; pass Live only when the
 // reservations should land directly in the environment.

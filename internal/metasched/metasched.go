@@ -129,6 +129,20 @@ type Config struct {
 	// outages and mid-run task failures). The zero value disables it
 	// entirely and reproduces the fault-free simulator exactly.
 	Faults faults.Config
+
+	// Placers enables shared-state optimistic concurrent placement
+	// (DESIGN.md §12): same-tick arrivals are batched, up to Placers
+	// goroutines build placement proposals against one versioned
+	// calendar snapshot, and a deterministic commit arbiter applies the
+	// winners and retries the losers against refreshed state. Values
+	// ≤ 1 keep the single-writer loop byte-identical to previous
+	// releases; any value yields the same terminal state per job
+	// (equivalence up to ordering, pinned by the differential suite).
+	Placers int
+	// PlacerRounds bounds the optimistic rounds a contended batch gets
+	// before its remaining jobs fall back to the guaranteed sequential
+	// path. 0 means 3.
+	PlacerRounds int
 }
 
 // PlacementPolicy selects how the metascheduler distributes arriving jobs
@@ -294,6 +308,10 @@ type VO struct {
 	submitted map[string]bool // job names ever submitted, for duplicate detection
 	closed    bool            // Close called; no further submissions
 
+	pending  map[simtime.Time][]pendingArrival // same-tick batches, placers > 1 only
+	batchSeq int                               // submission order across batches
+	pm       placerMetrics
+
 	failRng   *rng.Source // mid-run task-failure draws, nil when disabled
 	jitterRng *rng.Source // retry-backoff jitter draws, nil when disabled
 	fstats    metrics.FaultStats
@@ -312,7 +330,11 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 		byDomain:  make(map[string]*JobManager),
 		active:    make(map[string]*activeJob),
 		submitted: make(map[string]bool),
+		pending:   make(map[simtime.Time][]pendingArrival),
 		extRng:    rng.New(cfg.Seed).Split(0xE7),
+	}
+	if cfg.Telemetry != nil && cfg.Placers > 1 {
+		vo.pm.register(cfg.Telemetry)
 	}
 	if cfg.Faults.JitterFrac > 0 {
 		vo.jitterRng = rng.New(cfg.Faults.Seed).Split(0x717E)
@@ -372,6 +394,17 @@ func (vo *VO) Results() []*JobResult { return vo.results }
 // submissions after Close: all three used to corrupt state silently or
 // panic deep inside the engine.
 func (vo *VO) Submit(job *dag.Job, typ strategy.Type, at simtime.Time) error {
+	return vo.SubmitPrio(job, typ, at, 0)
+}
+
+// SubmitPrio is Submit with an explicit priority for the concurrent
+// placement arbiter: when optimistic placement is enabled (Config.Placers
+// > 1) and several jobs arrive at the same tick, commit-time collisions
+// are resolved in favor of the higher priority (ties by submission
+// order), per the paper's priority/QoS collision-resolution rules. With
+// placers ≤ 1 the priority is irrelevant — jobs place one at a time in
+// submission order, exactly as before.
+func (vo *VO) SubmitPrio(job *dag.Job, typ strategy.Type, at simtime.Time, prio int) error {
 	if vo.closed {
 		return fmt.Errorf("metasched: job %q submitted after the VO was closed", job.Name)
 	}
@@ -382,7 +415,15 @@ func (vo *VO) Submit(job *dag.Job, typ strategy.Type, at simtime.Time) error {
 		return fmt.Errorf("metasched: job %q arrival %d is in the past (now %d)", job.Name, at, vo.engine.Now())
 	}
 	vo.submitted[job.Name] = true
-	vo.engine.At(at, "arrive "+job.Name, func() { vo.arrive(job, typ) })
+	if vo.cfg.Placers <= 1 {
+		vo.engine.At(at, "arrive "+job.Name, func() { vo.arrive(job, typ) })
+		return nil
+	}
+	if len(vo.pending[at]) == 0 {
+		vo.engine.At(at, "arrive-batch", func() { vo.arriveBatch(at) })
+	}
+	vo.pending[at] = append(vo.pending[at], pendingArrival{job: job, typ: typ, prio: prio, seq: vo.batchSeq})
+	vo.batchSeq++
 	return nil
 }
 
@@ -547,7 +588,6 @@ func (m *JobManager) adopt(aj *activeJob, initial bool) {
 // (in whichever domain it happens) defines the job's planned start for the
 // Fig. 4c deviation metric.
 func (m *JobManager) activate(aj *activeJob, d *strategy.Distribution) {
-	now := m.vo.engine.Now()
 	owner := func(task dag.TaskID) resource.Owner {
 		return resource.Owner{Job: aj.result.Job.Name, Task: aj.strat.Scheduled.Task(task).Name}
 	}
@@ -558,6 +598,15 @@ func (m *JobManager) activate(aj *activeJob, d *strategy.Distribution) {
 			panic(fmt.Sprintf("metasched: activation conflict for %s: %v", aj.result.Job.Name, err))
 		}
 	}
+	m.activateReserved(aj, d)
+}
+
+// activateReserved is activate after the reservations are already in the
+// live books: the optimistic commit path (placer.go) applies a plan's
+// windows atomically through resource.Proposal.Commit and then runs the
+// exact bookkeeping the single-writer path runs after its Reserve loop.
+func (m *JobManager) activateReserved(aj *activeJob, d *strategy.Distribution) {
+	now := m.vo.engine.Now()
 	aj.current = d
 	aj.activate = now
 	aj.used[d.Level] = true

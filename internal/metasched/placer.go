@@ -1,0 +1,324 @@
+package metasched
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/criticalworks"
+	"repro/internal/dag"
+	"repro/internal/parallel"
+	"repro/internal/resource"
+	"repro/internal/simtime"
+	"repro/internal/strategy"
+	"repro/internal/telemetry"
+)
+
+// This file implements shared-state optimistic concurrent placement
+// (DESIGN.md §12). With Config.Placers > 1, jobs arriving at the same
+// tick form a batch. Each round of a batch:
+//
+//  1. takes one versioned snapshot of every calendar
+//     (criticalworks.SnapshotVersioned — the shared state),
+//  2. builds every job's strategy concurrently against that snapshot
+//     (up to Placers goroutines; builds are pure functions of the
+//     snapshot, so the parallelism cannot leak into the results),
+//  3. commits sequentially in the arbiter's total order — the paper's
+//     collision-resolution rule: priority first, then submission
+//     order — validating each plan's read-set (calendar generations)
+//     against the live books via resource.Proposal,
+//  4. carries commit losers into the next round against refreshed
+//     state; after PlacerRounds rounds the stragglers take the
+//     guaranteed sequential path (JobManager.adopt), which cannot
+//     conflict because it holds the only writer.
+//
+// The placers ≤ 1 configuration never reaches this file: Submit
+// schedules the classic per-job arrival events and the run is
+// byte-identical to the single-writer scheduler.
+
+// pendingArrival is one same-tick submission waiting for its batch event.
+type pendingArrival struct {
+	job  *dag.Job
+	typ  strategy.Type
+	prio int
+	seq  int
+}
+
+// placerJob is one batch member still looking for a committed plan.
+type placerJob struct {
+	aj      *activeJob
+	prio    int
+	seq     int
+	initial bool // first generation defines the admissibility record
+}
+
+func (w *placerJob) key() commitKey {
+	return commitKey{prio: w.prio, seq: w.seq, name: w.aj.result.Job.Name}
+}
+
+// commitKey orders proposals at the commit step. The order is total:
+// any two distinct submissions differ in seq, and the name breaks ties
+// for synthetic keys (fuzzing) that reuse a seq.
+type commitKey struct {
+	prio int
+	seq  int
+	name string
+}
+
+// commitBefore is the arbiter's collision-resolution order: higher
+// priority first (QoS), then earlier submission, then job name.
+func commitBefore(a, b commitKey) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.name < b.name
+}
+
+// placerMetrics holds the optimistic-commit counters; all nil (and every
+// observation a no-op) unless telemetry is enabled with Placers > 1.
+type placerMetrics struct {
+	commits   *telemetry.Counter
+	conflicts *telemetry.Counter
+	retries   *telemetry.Counter
+	fallbacks *telemetry.Counter
+}
+
+func (pm *placerMetrics) register(reg *telemetry.Registry) {
+	pm.commits = reg.Counter("grid_placer_commits_total",
+		"placement proposals committed by the optimistic arbiter")
+	pm.conflicts = reg.Counter("grid_placer_conflicts_total",
+		"placement proposals refused at commit time (read-set or window conflict)")
+	pm.retries = reg.Counter("grid_placer_retries_total",
+		"jobs carried into another optimistic round after losing every level")
+	pm.fallbacks = reg.Counter("grid_placer_sequential_fallbacks_total",
+		"jobs that exhausted the optimistic rounds and placed sequentially")
+}
+
+func inc(c *telemetry.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// placers returns the effective placer count (≥ 1).
+func (vo *VO) placers() int {
+	if vo.cfg.Placers < 1 {
+		return 1
+	}
+	return vo.cfg.Placers
+}
+
+// liveView resolves node IDs to the live calendars for proposal commits.
+func (vo *VO) liveView() resource.CalendarView {
+	return func(id resource.NodeID) *resource.Calendar {
+		if int(id) < 0 || int(id) >= vo.env.NumNodes() {
+			return nil
+		}
+		return vo.env.Node(id).Calendar()
+	}
+}
+
+// arriveBatch fires once per tick that has pending submissions: it runs
+// the metascheduler's flow distribution for every batch member (spreading
+// a batch across domains the way sequential arrivals would) and hands the
+// placeable ones to the optimistic placer pool.
+func (vo *VO) arriveBatch(at simtime.Time) {
+	batch := vo.pending[at]
+	delete(vo.pending, at)
+	counts := make(map[string]int)
+	work := make([]*placerJob, 0, len(batch))
+	for _, p := range batch {
+		m := vo.placeJobBatch(nil, counts)
+		res := &JobResult{
+			Job:     p.job,
+			Type:    p.typ,
+			Arrival: vo.engine.Now(),
+			State:   StateRejected, // until proven otherwise
+		}
+		aj := &activeJob{
+			result:   res,
+			used:     make(map[resource.Tier]bool),
+			triedDom: map[string]bool{},
+			failedAt: -1,
+		}
+		if m == nil {
+			vo.trace(EventArrive, p.job.Name, "", nil)
+			vo.finalize(aj, StateRejected)
+			continue
+		}
+		counts[m.domain]++
+		res.Domain = m.domain
+		aj.manager = m
+		aj.triedDom[m.domain] = true
+		if vo.cfg.Telemetry != nil {
+			vo.cfg.Telemetry.Counter("grid_metasched_placements_total",
+				"jobs placed by the metascheduler, per domain", telemetry.L("domain", m.domain)).Inc()
+		}
+		vo.trace(EventArrive, p.job.Name, m.domain, nil)
+		vo.active[p.job.Name] = aj
+		work = append(work, &placerJob{aj: aj, prio: p.prio, seq: p.seq, initial: true})
+	}
+	vo.placeConcurrent(work)
+}
+
+// placeJobBatch is placeJob with batch awareness: least-loaded placement
+// also counts the jobs this batch already assigned to each domain, so a
+// batch spreads out instead of piling onto the domain that was lightest
+// before any of them landed. Round-robin needs no correction — the
+// cursor advances per call.
+func (vo *VO) placeJobBatch(except map[string]bool, counts map[string]int) *JobManager {
+	if vo.cfg.Placement == PlaceRoundRobin {
+		return vo.placeJob(except)
+	}
+	return vo.leastLoadedWith(except, counts)
+}
+
+// leastLoadedWith is leastLoaded ordered by (jobs assigned this batch,
+// reserved future ticks, domain name).
+func (vo *VO) leastLoadedWith(except map[string]bool, counts map[string]int) *JobManager {
+	now := vo.engine.Now()
+	span := simtime.Interval{Start: now, End: now + 1000}
+	var best *JobManager
+	var bestLoad float64
+	bestCount := 0
+	for _, m := range vo.managers {
+		if except[m.domain] || !vo.env.DomainUp(m.domain) || !vo.domainAllowed(m.domain) {
+			continue
+		}
+		var load float64
+		for _, id := range m.pool {
+			load += float64(vo.env.Node(id).Calendar().BusyIn(span))
+		}
+		load /= float64(len(m.pool))
+		c := counts[m.domain]
+		better := best == nil || c < bestCount ||
+			(c == bestCount && (load < bestLoad || (load == bestLoad && m.domain < best.domain)))
+		if better {
+			best, bestLoad, bestCount = m, load, c
+		}
+	}
+	return best
+}
+
+// placeConcurrent drives a batch through optimistic rounds until every
+// job committed a plan, was rejected, or fell back. The sequential
+// fallback is the progress guarantee: a single job cannot conflict with
+// itself, and adopt is today's single-writer path.
+func (vo *VO) placeConcurrent(work []*placerJob) {
+	maxRounds := vo.cfg.PlacerRounds
+	if maxRounds <= 0 {
+		maxRounds = 3
+	}
+	for round := 0; len(work) > 0; round++ {
+		if round >= maxRounds || len(work) == 1 {
+			for _, w := range work {
+				if round > 0 {
+					inc(vo.pm.fallbacks)
+				}
+				w.aj.manager.adopt(w.aj, w.initial)
+			}
+			return
+		}
+		work = vo.placeRound(work)
+	}
+}
+
+// placeRound runs one optimistic round: snapshot, concurrent strategy
+// builds, then deterministic arbitration and commit. It returns the jobs
+// that lost every admissible level at commit time and should retry
+// against the refreshed state.
+func (vo *VO) placeRound(work []*placerJob) []*placerJob {
+	now := vo.engine.Now()
+	snap, gens := criticalworks.SnapshotVersioned(vo.env)
+
+	// Build contexts are acquired sequentially: the service's BuildCtx
+	// hook arms per-job timers and is not required to be goroutine-safe.
+	ctxs := make([]context.Context, len(work))
+	for i, w := range work {
+		ctxs[i] = vo.buildCtx(w.aj.result.Job.Name)
+	}
+	type buildOut struct {
+		st  *strategy.Strategy
+		err error
+	}
+	outs, err := parallel.Map(vo.placers(), len(work), func(i int) (buildOut, error) {
+		w := work[i]
+		st, gerr := w.aj.manager.gen.GenerateCtx(ctxs[i], w.aj.result.Job, w.aj.result.Type, snap, now)
+		return buildOut{st: st, err: gerr}, nil
+	})
+	if err != nil {
+		// The builders only ever return nil errors; Map can fail solely by
+		// a worker panicking, which must not be swallowed.
+		panic(err)
+	}
+
+	// The arbiter's total order: the paper's priority/QoS collision
+	// resolution, independent of build completion order.
+	order := make([]int, len(work))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return commitBefore(work[order[a]].key(), work[order[b]].key())
+	})
+
+	view := vo.liveView()
+	var carry []*placerJob
+	for _, i := range order {
+		w, out := work[i], outs[i]
+		aj := w.aj
+		if out.err != nil {
+			// Structural failures cannot happen for generator-produced
+			// jobs; treat as rejection exactly like the sequential path.
+			vo.finalize(aj, StateRejected)
+			continue
+		}
+		st := out.st
+		aj.strat = st
+		aj.result.Scheduled = st.Scheduled
+		aj.used = make(map[resource.Tier]bool)
+		aj.result.Evaluations += st.Evaluations
+		aj.result.Collisions = append(aj.result.Collisions, st.Collisions()...)
+		if w.initial {
+			aj.result.Admissible = st.Admissible()
+			w.initial = false
+		}
+		if !st.Admissible() {
+			vo.reallocate(aj)
+			continue
+		}
+		// Walk the admissible levels cheapest-first, proposing each until
+		// one commits. Commit losses stay in a round-local set: a level
+		// blocked by this round's winners may fit next round, so it must
+		// not be burned in aj.used the way activated levels are.
+		tried := make(map[resource.Tier]bool)
+		committed := false
+		for {
+			d := st.AdmissibleAfter(tried)
+			if d == nil {
+				break
+			}
+			tried[d.Level] = true
+			prop := &resource.Proposal{
+				Reads:  gens,
+				Claims: d.Claims(st.Scheduled, aj.result.Job.Name),
+			}
+			if conflicts := prop.Commit(view); len(conflicts) != 0 {
+				inc(vo.pm.conflicts)
+				continue
+			}
+			inc(vo.pm.commits)
+			aj.manager.activateReserved(aj, d)
+			committed = true
+			break
+		}
+		if committed {
+			continue
+		}
+		inc(vo.pm.retries)
+		carry = append(carry, w)
+	}
+	return carry
+}

@@ -1,0 +1,155 @@
+package metasched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// placerRun drives one deterministic VO run: `jobs` corpus jobs submitted
+// in same-tick groups of `group` (one arrival batch each when placers >
+// 1), priorities cycling 0..2, deadlines re-anchored at each group's
+// tick. stretch scales the corpus deadlines (1 keeps the generator's
+// default). Every `doomEvery`-th job (0 disables) instead gets a 1-tick
+// deadline no schedule can meet, pinning the rejection path. Returns the
+// terminal results in finalization order.
+func placerRun(seed uint64, placers, jobs, group int, gap simtime.Time, stretch float64, doomEvery int) []*JobResult {
+	e := sim.New()
+	cfg := workload.Default(seed)
+	cfg.DeadlineFactor *= stretch
+	gen := workload.New(cfg)
+	env := gen.Environment(3)
+	vo := NewVO(e, env, Config{Seed: seed, Placers: placers})
+	for i := 0; i < jobs; i++ {
+		j := gen.Job(i)
+		at := simtime.Time(i/group) * gap
+		if doomEvery > 0 && i%doomEvery == doomEvery-1 {
+			j = j.WithDeadline(at + 1) // infeasible whatever the contention
+		} else {
+			j = j.WithDeadline(at + j.Deadline)
+		}
+		if err := vo.SubmitPrio(j, strategy.S1, at, i%3); err != nil {
+			panic(err)
+		}
+	}
+	e.Run()
+	return vo.Results()
+}
+
+// TestPlacerDifferentialEquivalence is the concurrent-placement analogue
+// of the PR 2 workers-differential: for five seeds, -placers=1 and
+// -placers=8 must give every job the same terminal state and identical
+// QoS-miss/goodput totals. The comparison is ordering-independent (by
+// job name): the optimistic arbiter may activate batch members in a
+// different sequence, but it must not change any job's fate.
+func TestPlacerDifferentialEquivalence(t *testing.T) {
+	const jobs, group = 36, 6
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			seq := placerRun(seed, 1, jobs, group, 150, 3, 9)
+			con := placerRun(seed, 8, jobs, group, 150, 3, 9)
+			if len(seq) != jobs || len(con) != jobs {
+				t.Fatalf("results: sequential %d, concurrent %d, want %d", len(seq), len(con), jobs)
+			}
+			states := func(rs []*JobResult) (map[string]State, int, int) {
+				byName := make(map[string]State, len(rs))
+				completed, rejected := 0, 0
+				for _, r := range rs {
+					byName[r.Job.Name] = r.State
+					switch r.State {
+					case StateCompleted:
+						completed++
+					case StateRejected:
+						rejected++
+					default:
+						t.Fatalf("%s: non-terminal state %v", r.Job.Name, r.State)
+					}
+				}
+				return byName, completed, rejected
+			}
+			sA, compA, rejA := states(seq)
+			sB, compB, rejB := states(con)
+			for name, st := range sA {
+				if sB[name] != st {
+					t.Errorf("%s: placers=1 %v, placers=8 %v", name, st, sB[name])
+				}
+			}
+			if compA != compB || rejA != rejB {
+				t.Errorf("totals: placers=1 completed=%d rejected=%d, placers=8 completed=%d rejected=%d",
+					compA, rejA, compB, rejB)
+			}
+		})
+	}
+}
+
+// TestPlacerSingletonBatchesMatchSequential pins the byte-identical
+// guarantee from the other side: when every arrival batch holds exactly
+// one job, the placers>1 configuration must reproduce the single-writer
+// run in full — same results in the same order with the same plans.
+func TestPlacerSingletonBatchesMatchSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		a := placerRun(seed, 1, 18, 1, 40, 1, 0)
+		b := placerRun(seed, 4, 18, 1, 40, 1, 0)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: %d vs %d results", seed, len(a), len(b))
+		}
+		for i := range a {
+			x, y := a[i], b[i]
+			if x.Job.Name != y.Job.Name || x.State != y.State || x.Finish != y.Finish ||
+				x.Cost != y.Cost || x.BareCF != y.BareCF || x.Domain != y.Domain ||
+				x.InitialLevel != y.InitialLevel || x.FinalLevel != y.FinalLevel ||
+				!reflect.DeepEqual(x.Placements, y.Placements) {
+				t.Fatalf("seed %d: result %d diverged:\nplacers=1: %+v\nplacers=4: %+v", seed, i, x, y)
+			}
+		}
+	}
+}
+
+// TestPlacerDeterministicAcrossRuns: at a fixed placer width, a whole run
+// is a pure function of the seed — the parallel builds must not leak
+// scheduling noise into the results.
+func TestPlacerDeterministicAcrossRuns(t *testing.T) {
+	a := placerRun(3, 8, 36, 6, 150, 1, 0)
+	b := placerRun(3, 8, 36, 6, 150, 1, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical placers=8 runs diverged")
+	}
+}
+
+// TestPlacerCompletedPlacementsNeverOverlap re-checks the live books'
+// invariant under the concurrent path: completed jobs' reservations are
+// pairwise disjoint per node — commits that raced must not have
+// double-booked a window.
+func TestPlacerCompletedPlacementsNeverOverlap(t *testing.T) {
+	results := placerRun(9, 8, 36, 9, 120, 1, 0)
+	type win struct {
+		iv  simtime.Interval
+		job string
+	}
+	byNode := map[resource.NodeID][]win{}
+	for _, r := range results {
+		if r.State != StateCompleted {
+			continue
+		}
+		for _, p := range r.Placements {
+			byNode[p.Node] = append(byNode[p.Node], win{p.Window, r.Job.Name})
+		}
+	}
+	for node, wins := range byNode {
+		for i := 0; i < len(wins); i++ {
+			for j := i + 1; j < len(wins); j++ {
+				if wins[i].iv.Overlaps(wins[j].iv) {
+					t.Errorf("node %d: %s %v overlaps %s %v",
+						node, wins[i].job, wins[i].iv, wins[j].job, wins[j].iv)
+				}
+			}
+		}
+	}
+}

@@ -29,8 +29,15 @@ type Reservation struct {
 
 // Calendar is a node's reservation book: a set of non-overlapping advance
 // reservations. The zero value is not usable; call NewCalendar.
+//
+// The book is versioned: every mutation bumps a monotonic generation
+// counter, which the optimistic concurrent placement machinery
+// (Proposal, DESIGN.md §12) uses as the read-set of a placement built
+// against a snapshot — an unchanged generation proves the snapshot is
+// still exact, so a proposal's claims can commit without re-scanning.
 type Calendar struct {
 	res []Reservation // sorted by Interval.Start, pairwise disjoint
+	gen uint64        // bumped on every mutation of res
 }
 
 // NewCalendar returns an empty calendar.
@@ -53,6 +60,11 @@ func (e *ErrConflict) Error() string {
 
 // Len returns the number of reservations.
 func (c *Calendar) Len() int { return len(c.res) }
+
+// Gen returns the book's generation: a counter that increases on every
+// mutation and never decreases. Two reads returning the same generation
+// bracket a span in which the book did not change.
+func (c *Calendar) Gen() uint64 { return c.gen }
 
 // Reservations returns a copy of all reservations in start order.
 func (c *Calendar) Reservations() []Reservation {
@@ -107,6 +119,7 @@ func (c *Calendar) Reserve(iv simtime.Interval, owner Owner) error {
 	c.res = append(c.res, Reservation{})
 	copy(c.res[i+1:], c.res[i:])
 	c.res[i] = Reservation{Interval: iv, Owner: owner}
+	c.gen++
 	return nil
 }
 
@@ -116,6 +129,7 @@ func (c *Calendar) Release(iv simtime.Interval, owner Owner) bool {
 	for i, r := range c.res {
 		if r.Interval == iv && r.Owner == owner {
 			c.res = append(c.res[:i], c.res[i+1:]...)
+			c.gen++
 			return true
 		}
 	}
@@ -135,6 +149,9 @@ func (c *Calendar) ReleaseOwner(owner Owner) int {
 		out = append(out, r)
 	}
 	c.res = out
+	if removed > 0 {
+		c.gen++
+	}
 	return removed
 }
 
@@ -150,6 +167,9 @@ func (c *Calendar) ReleaseJob(job string) int {
 		out = append(out, r)
 	}
 	c.res = out
+	if removed > 0 {
+		c.gen++
+	}
 	return removed
 }
 
@@ -217,6 +237,9 @@ func (c *Calendar) PruneBefore(t simtime.Time) int {
 		kept = append(kept, r)
 	}
 	c.res = kept
+	if removed > 0 {
+		c.gen++
+	}
 	return removed
 }
 
@@ -226,13 +249,18 @@ func (c *Calendar) PruneBefore(t simtime.Time) int {
 func (c *Calendar) Void() []Reservation {
 	out := c.res
 	c.res = nil
+	if len(out) > 0 {
+		c.gen++
+	}
 	return out
 }
 
 // Clone returns a deep copy of the calendar, used for what-if scheduling
-// passes that must not disturb the live book.
+// passes that must not disturb the live book. The clone carries the
+// source's generation, so a proposal built against it can later prove the
+// live book unchanged (Proposal.Reads).
 func (c *Calendar) Clone() *Calendar {
-	cp := &Calendar{res: make([]Reservation, len(c.res))}
+	cp := &Calendar{res: make([]Reservation, len(c.res)), gen: c.gen}
 	copy(cp.res, c.res)
 	return cp
 }

@@ -1,0 +1,357 @@
+package resource
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// viewOver adapts a plain calendar map to a CalendarView.
+func viewOver(cals map[NodeID]*Calendar) CalendarView {
+	return func(id NodeID) *Calendar { return cals[id] }
+}
+
+// cloneAll deep-copies a calendar map (snapshot semantics).
+func cloneAll(cals map[NodeID]*Calendar) map[NodeID]*Calendar {
+	out := make(map[NodeID]*Calendar, len(cals))
+	for id, c := range cals {
+		out[id] = c.Clone()
+	}
+	return out
+}
+
+// gensOf records every calendar's generation (a proposal read-set).
+func gensOf(cals map[NodeID]*Calendar) map[NodeID]uint64 {
+	out := make(map[NodeID]uint64, len(cals))
+	for id, c := range cals {
+		out[id] = c.Gen()
+	}
+	return out
+}
+
+// checkDisjoint asserts every calendar holds pairwise-disjoint, sorted
+// reservations — the book's structural invariant.
+func checkDisjoint(t *testing.T, cals map[NodeID]*Calendar, ctx string) {
+	t.Helper()
+	for id, c := range cals {
+		res := c.Reservations()
+		for i := 1; i < len(res); i++ {
+			if res[i-1].Interval.Overlaps(res[i].Interval) {
+				t.Fatalf("%s: node %d reservations overlap: %v(%s) and %v(%s)",
+					ctx, id, res[i-1].Interval, res[i-1].Owner.Job, res[i].Interval, res[i].Owner.Job)
+			}
+			if res[i-1].Interval.Start > res[i].Interval.Start {
+				t.Fatalf("%s: node %d reservations out of order", ctx, id)
+			}
+		}
+	}
+}
+
+func TestGenMonotonicAndBumpedExactlyOnMutation(t *testing.T) {
+	r := rng.New(7)
+	c := NewCalendar()
+	var held []Reservation
+	for step := 0; step < 2000; step++ {
+		before := c.Gen()
+		mutated := false
+		switch r.Intn(5) {
+		case 0, 1: // Reserve
+			start := simtime.Time(r.Int64n(200))
+			iv := simtime.Interval{Start: start, End: start + simtime.Time(r.Int64n(20))}
+			owner := Owner{Job: fmt.Sprintf("j%d", r.Intn(8))}
+			if err := c.Reserve(iv, owner); err == nil {
+				mutated = true
+				held = append(held, Reservation{Interval: iv, Owner: owner})
+			}
+		case 2: // Release a held reservation (or a miss)
+			if len(held) > 0 && r.Bool(0.7) {
+				i := r.Intn(len(held))
+				if c.Release(held[i].Interval, held[i].Owner) {
+					mutated = true
+					held = append(held[:i], held[i+1:]...)
+				}
+			} else if c.Release(simtime.Interval{Start: 9999, End: 10000}, Owner{Job: "nobody"}) {
+				t.Fatal("released a reservation that was never made")
+			}
+		case 3: // PruneBefore
+			if c.PruneBefore(simtime.Time(r.Int64n(100))) > 0 {
+				mutated = true
+				held = held[:0]
+				held = append(held, c.Reservations()...)
+			}
+		case 4: // ReleaseJob
+			if c.ReleaseJob(fmt.Sprintf("j%d", r.Intn(8))) > 0 {
+				mutated = true
+				held = held[:0]
+				held = append(held, c.Reservations()...)
+			}
+		}
+		after := c.Gen()
+		if after < before {
+			t.Fatalf("step %d: generation went backwards: %d -> %d", step, before, after)
+		}
+		if mutated && after == before {
+			t.Fatalf("step %d: mutation did not bump the generation", step)
+		}
+		if !mutated && after != before {
+			t.Fatalf("step %d: generation bumped without a mutation", step)
+		}
+	}
+	if got := c.Clone().Gen(); got != c.Gen() {
+		t.Fatalf("clone generation %d, source %d", got, c.Gen())
+	}
+}
+
+// randomProposal builds a proposal of 1–3 claims against the snapshot's
+// free windows (so it is valid against the snapshot, like a real placer's
+// plan), carrying the snapshot generations as its read-set.
+func randomProposal(r *rng.Source, snap map[NodeID]*Calendar, owner Owner) *Proposal {
+	p := &Proposal{Reads: gensOf(snap)}
+	n := 1 + r.Intn(3)
+	for k := 0; k < n; k++ {
+		node := NodeID(r.Intn(len(snap)))
+		length := simtime.Time(1 + r.Int64n(10))
+		start, ok := snap[node].FirstFree(simtime.Time(r.Int64n(100)), length, 1_000)
+		if !ok {
+			continue
+		}
+		iv := simtime.Interval{Start: start, End: start + length}
+		p.Claims = append(p.Claims, Claim{Node: node, Window: iv, Owner: owner})
+		// Keep the proposal self-consistent the way a DP plan is: later
+		// claims of the same plan see the earlier ones as busy.
+		if err := snap[node].Reserve(iv, owner); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// TestProposalInterleavings drives random batches of snapshot-built
+// proposals through Commit in random order and asserts the optimistic
+// invariants: books stay disjoint, generations never move backwards, no
+// committed or pre-existing reservation is lost, failed commits change
+// nothing, and two proposals claiming overlapping windows never both
+// succeed.
+func TestProposalInterleavings(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			live := map[NodeID]*Calendar{}
+			for id := NodeID(0); id < 4; id++ {
+				live[id] = NewCalendar()
+			}
+			// Pre-existing background load.
+			for k := 0; k < 10; k++ {
+				node := NodeID(r.Intn(len(live)))
+				start := simtime.Time(r.Int64n(150))
+				_ = live[node].Reserve(simtime.Interval{Start: start, End: start + simtime.Time(1+r.Int64n(15))}, External)
+			}
+			view := viewOver(live)
+
+			for round := 0; round < 30; round++ {
+				// All proposals of a round share one snapshot: the
+				// shared-state model's concurrent builders.
+				snapGens := gensOf(live)
+				props := make([]*Proposal, 4)
+				for i := range props {
+					snap := cloneAll(live) // each builder plans independently
+					props[i] = randomProposal(r, snap, Owner{Job: fmt.Sprintf("r%d-p%d", round, i)})
+					props[i].Reads = snapGens
+				}
+
+				before := map[NodeID][]Reservation{}
+				for id, c := range live {
+					before[id] = c.Reservations()
+				}
+				committed := make([]bool, len(props))
+				for _, i := range r.Perm(len(props)) {
+					preRes := map[NodeID][]Reservation{}
+					preGen := map[NodeID]uint64{}
+					for id, c := range live {
+						preRes[id] = c.Reservations()
+						preGen[id] = c.Gen()
+					}
+					conflicts := props[i].Commit(view)
+					committed[i] = len(conflicts) == 0
+					if !committed[i] {
+						// Failed commit must leave every book untouched.
+						for id, c := range live {
+							if !reflect.DeepEqual(preRes[id], c.Reservations()) {
+								t.Fatalf("failed commit mutated node %d", id)
+							}
+							if c.Gen() != preGen[id] {
+								t.Fatalf("failed commit bumped node %d generation", id)
+							}
+						}
+						continue
+					}
+					for id, c := range live {
+						if c.Gen() < preGen[id] {
+							t.Fatalf("commit moved node %d generation backwards", id)
+						}
+					}
+				}
+				checkDisjoint(t, live, fmt.Sprintf("round %d", round))
+
+				// No lost reservation: everything present before the round
+				// plus every committed claim is in the books.
+				for id, res := range before {
+					have := map[Reservation]bool{}
+					for _, rr := range live[id].Reservations() {
+						have[rr] = true
+					}
+					for _, rr := range res {
+						if !have[rr] {
+							t.Fatalf("round %d: node %d lost reservation %v/%s", round, id, rr.Interval, rr.Owner.Job)
+						}
+					}
+				}
+				for i, p := range props {
+					if !committed[i] {
+						continue
+					}
+					for _, cl := range p.Claims {
+						found := false
+						for _, rr := range live[cl.Node].Reservations() {
+							if rr.Interval == cl.Window && rr.Owner == cl.Owner {
+								found = true
+								break
+							}
+						}
+						if !found {
+							t.Fatalf("round %d: committed claim %v lost", round, cl)
+						}
+					}
+				}
+				// Conflicting commits never both succeed.
+				for i := 0; i < len(props); i++ {
+					for j := i + 1; j < len(props); j++ {
+						if !committed[i] || !committed[j] {
+							continue
+						}
+						for _, a := range props[i].Claims {
+							for _, b := range props[j].Claims {
+								if a.Node == b.Node && a.Window.Overlaps(b.Window) {
+									t.Fatalf("round %d: proposals %d and %d both committed overlapping claims %v / %v",
+										round, i, j, a.Window, b.Window)
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProposalStaleReadSetRevalidates poisons the fast path: a proposal
+// carries a read-set claiming the book is unchanged when it is not. The
+// window re-validation in Commit's Reserve loop must still refuse the
+// overlap and roll back atomically.
+func TestProposalStaleReadSetRevalidates(t *testing.T) {
+	live := map[NodeID]*Calendar{0: NewCalendar(), 1: NewCalendar()}
+	view := viewOver(live)
+
+	// The book mutates after the "snapshot"...
+	if err := live[0].Reserve(simtime.Interval{Start: 10, End: 20}, Owner{Job: "winner"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...but the adversarial proposal lies: Reads claims the current
+	// generation, so Validate's fast path trusts the snapshot.
+	p := &Proposal{
+		Reads: map[NodeID]uint64{0: live[0].Gen(), 1: live[1].Gen()},
+		Claims: []Claim{
+			{Node: 1, Window: simtime.Interval{Start: 0, End: 5}, Owner: Owner{Job: "liar"}},
+			{Node: 0, Window: simtime.Interval{Start: 15, End: 25}, Owner: Owner{Job: "liar"}},
+		},
+	}
+	conflicts := p.Commit(view)
+	if len(conflicts) == 0 {
+		t.Fatal("commit succeeded over an existing reservation")
+	}
+	if live[1].Len() != 0 {
+		t.Fatal("rollback left a partial claim on node 1")
+	}
+	if got := live[0].Reservations(); len(got) != 1 || got[0].Owner.Job != "winner" {
+		t.Fatalf("node 0 book corrupted: %v", got)
+	}
+}
+
+func TestProposalValidateRejectsMalformedClaims(t *testing.T) {
+	live := map[NodeID]*Calendar{0: NewCalendar()}
+	view := viewOver(live)
+	cases := []struct {
+		name string
+		p    Proposal
+	}{
+		{"empty window", Proposal{Claims: []Claim{{Node: 0, Window: simtime.Interval{Start: 5, End: 5}}}}},
+		{"inverted window", Proposal{Claims: []Claim{{Node: 0, Window: simtime.Interval{Start: 9, End: 3}}}}},
+		{"unknown node", Proposal{Claims: []Claim{{Node: 99, Window: simtime.Interval{Start: 0, End: 5}}}}},
+		{"self overlap", Proposal{Claims: []Claim{
+			{Node: 0, Window: simtime.Interval{Start: 0, End: 10}},
+			{Node: 0, Window: simtime.Interval{Start: 5, End: 15}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Commit(view); len(got) == 0 {
+				t.Fatalf("%s committed", tc.name)
+			}
+			if live[0].Len() != 0 {
+				t.Fatalf("%s left reservations behind", tc.name)
+			}
+		})
+	}
+}
+
+// TestProposalConcurrentBuildersSingleArbiter is the -race guard for the
+// shared-state model: many goroutines build proposals against private
+// snapshot clones while a single arbiter goroutine commits them against
+// the live books — the exact sharing discipline of metasched's placer
+// pool (concurrent pure builds, serialized commits).
+func TestProposalConcurrentBuildersSingleArbiter(t *testing.T) {
+	live := map[NodeID]*Calendar{}
+	for id := NodeID(0); id < 3; id++ {
+		live[id] = NewCalendar()
+	}
+	view := viewOver(live)
+
+	const builders = 8
+	const rounds = 25
+	for round := 0; round < rounds; round++ {
+		snap := cloneAll(live)
+		gens := gensOf(live)
+		props := make([]*Proposal, builders)
+		var wg sync.WaitGroup
+		for i := 0; i < builders; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Each builder works on its own clone of the shared
+				// snapshot; the snapshot itself is only ever read.
+				mine := cloneAll(snap)
+				r := rng.New(uint64(round*builders + i + 1))
+				props[i] = randomProposal(r, mine, Owner{Job: fmt.Sprintf("b%d-r%d", i, round)})
+				props[i].Reads = gens
+			}()
+		}
+		wg.Wait()
+		for _, p := range props {
+			p.Commit(view) // win or lose; the invariant is the books' shape
+		}
+		checkDisjoint(t, live, fmt.Sprintf("round %d", round))
+	}
+	total := 0
+	for _, c := range live {
+		total += c.Len()
+	}
+	if total == 0 {
+		t.Fatal("no proposal ever committed")
+	}
+}

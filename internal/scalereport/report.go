@@ -48,6 +48,10 @@ type RunConfig struct {
 	Proc             int     `json:"proc"`
 	Priorities       int     `json:"priorities"`
 	MeanInterarrival float64 `json:"meanInterarrival"`
+	// Placers is the concurrent optimistic-placement width (0/1 =
+	// classic single-writer placement). Absent in pre-placer baselines,
+	// which unmarshal to 0 and stay comparable.
+	Placers int `json:"placers,omitempty"`
 }
 
 // Deterministic is the seed-reproducible section (see the package doc).
@@ -78,6 +82,14 @@ type Deterministic struct {
 	// GoodputPerKTicks is completed jobs per 1000 model ticks — the
 	// scheduler's deterministic goodput, independent of host speed.
 	GoodputPerKTicks float64 `json:"goodputPerKTicks"`
+
+	// Optimistic-placement arbiter tallies (zero with placers ≤ 1, and
+	// absent from pre-placer baselines). The commit order is
+	// deterministic, so these are seed-reproducible like everything
+	// else in this section.
+	PlacerCommits   uint64 `json:"placerCommits,omitempty"`
+	PlacerConflicts uint64 `json:"placerConflicts,omitempty"`
+	PlacerRetries   uint64 `json:"placerRetries,omitempty"`
 }
 
 // WallClock is the host-dependent section, gated with tolerances.
@@ -160,6 +172,9 @@ func CompareDeterministic(cur, base *Report) []string {
 	cmp("queueHighWater", a.QueueHighWater, b.QueueHighWater)
 	cmp("engineTicks", a.EngineTicks, b.EngineTicks)
 	cmp("goodputPerKTicks", a.GoodputPerKTicks, b.GoodputPerKTicks)
+	cmp("placerCommits", a.PlacerCommits, b.PlacerCommits)
+	cmp("placerConflicts", a.PlacerConflicts, b.PlacerConflicts)
+	cmp("placerRetries", a.PlacerRetries, b.PlacerRetries)
 	keys := map[string]bool{}
 	for k := range a.TerminalByState {
 		keys[k] = true

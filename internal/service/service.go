@@ -667,6 +667,28 @@ func (s *Server) dequeueLocked() *entry {
 	return e
 }
 
+// dequeueBatchLocked pops up to max entries in dequeue order, forming one
+// arrival batch for the concurrent placer pool (placers > 1).
+func (s *Server) dequeueBatchLocked(max int) []*entry {
+	var out []*entry
+	for len(out) < max {
+		e := s.dequeueLocked()
+		if e == nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// placers returns the effective concurrent-placement width (≥ 1).
+func (s *Server) placers() int {
+	if s.cfg.Sched.Placers < 1 {
+		return 1
+	}
+	return s.cfg.Sched.Placers
+}
+
 // Start launches the engine loop. Call at most once.
 func (s *Server) Start() {
 	s.loopDone = make(chan struct{})
@@ -686,9 +708,13 @@ func (s *Server) loop() {
 			s.mu.Unlock()
 			return
 		}
-		e := s.dequeueLocked()
+		batch := s.dequeueBatchLocked(s.placers())
 		s.mu.Unlock()
-		s.process(e)
+		if len(batch) == 1 {
+			s.process(batch[0])
+		} else {
+			s.processBatch(batch)
+		}
 		s.mu.Lock()
 		idle := len(s.queue) == 0
 		s.mu.Unlock()
@@ -746,20 +772,63 @@ func (s *Server) process(e *entry) {
 	sp.SetStr("result", "scheduled").End()
 }
 
+// processBatch is process for a whole arrival batch when concurrent
+// placement is enabled: every entry shares one arrival tick, so the VO
+// batches them through the optimistic placer pool (metasched.SubmitPrio),
+// with each record's admission priority carried into the commit arbiter's
+// collision-resolution order. Engine goroutine only.
+func (s *Server) processBatch(batch []*entry) {
+	sp := s.spans.Start("service.process_batch", 0)
+	sp.SetInt("jobs", int64(len(batch)))
+	arrival := s.engine.Now() + 1
+	for _, e := range batch {
+		if !e.enq.IsZero() {
+			s.th.queueWait.Observe(telemetry.Since(e.enq))
+		}
+		job := e.job.WithDeadline(arrival + simtime.Time(e.wire.Deadline))
+		s.mu.Lock()
+		e.rec.State = StateScheduled
+		e.rec.Arrival = arrival
+		_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateScheduled})
+		s.mu.Unlock()
+		if err := s.vo.SubmitPrio(job, e.typ, arrival, e.rec.Priority); err != nil {
+			s.mu.Lock()
+			e.rec.State = StateRejected
+			e.rec.Reason = err.Error()
+			s.met.Rejected++
+			_ = s.journalLocked(journal.Record{Job: e.rec.ID, State: StateRejected, Reason: e.rec.Reason})
+			s.notifyTerminalLocked(e.rec)
+			s.mu.Unlock()
+			s.th.rejected.Inc()
+		}
+	}
+	s.engine.RunUntil(arrival + 1)
+	sp.SetStr("result", "scheduled").End()
+}
+
 // Process dequeues and schedules up to n queued jobs synchronously (all of
-// them when n < 0) and reports how many it handled. Manual-mode driver for
-// deterministic tests; never call concurrently with Start.
+// them when n < 0) and reports how many it handled. With placers > 1 the
+// dequeued jobs form arrival batches of up to the placer width. Manual-mode
+// driver for deterministic tests; never call concurrently with Start.
 func (s *Server) Process(n int) int {
 	done := 0
 	for n < 0 || done < n {
+		max := s.placers()
+		if n >= 0 && n-done < max {
+			max = n - done
+		}
 		s.mu.Lock()
-		e := s.dequeueLocked()
+		batch := s.dequeueBatchLocked(max)
 		s.mu.Unlock()
-		if e == nil {
+		if len(batch) == 0 {
 			break
 		}
-		s.process(e)
-		done++
+		if len(batch) == 1 {
+			s.process(batch[0])
+		} else {
+			s.processBatch(batch)
+		}
+		done += len(batch)
 	}
 	s.publishEngineStats()
 	return done
