@@ -12,11 +12,19 @@
 // process died are re-enqueued, so an accepted job reaches a terminal
 // state exactly once across any SIGKILL/restart sequence.
 //
+// With -shard set, gridd additionally serves the federation wire protocol
+// (handoff, revoke, ping) so a gridfront router can place jobs on it; with
+// -join it runs the rejoin handshake against the router on startup and
+// pushes terminal-state notices back, and -lease parks the engine whenever
+// the router has been silent too long (partition safety). Without -shard,
+// behavior is byte-identical to a standalone gridd.
+//
 // Usage:
 //
 //	gridd -listen :8080 -domains 3 -seed 1
 //	gridd -env nodes.json -queue 32 -snapshot drained.json
 //	gridd -journal-dir /var/lib/gridd/journal -fsync always
+//	gridd -shard s0 -join http://127.0.0.1:8070 -lease 2s
 //
 // The environment comes from -env (a jobio node file, e.g. the output of
 // `jobgen -env`) or is generated synthetically from -domains/-seed. See
@@ -38,6 +46,7 @@ import (
 
 	"repro/internal/breaker"
 	"repro/internal/faults"
+	"repro/internal/federation"
 	"repro/internal/jobio"
 	"repro/internal/journal"
 	"repro/internal/metasched"
@@ -70,6 +79,9 @@ func main() {
 		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval")
 		segmentBytes = flag.Int64("segment-bytes", 4<<20, "journal segment rotation threshold")
 		compactEvery = flag.Int("compact-every", 256, "terminal jobs between journal compactions (0 = only on recovery/drain)")
+		shardName    = flag.String("shard", "", "run as a federation shard with this name (serves the handoff/revoke/ping endpoints)")
+		joinURL      = flag.String("join", "", "router base URL to join (requires -shard); empty serves federation endpoints standalone")
+		leaseTimeout = flag.Duration("lease", 0, "router-contact lease: park the engine when the router has been silent this long (0 disables; requires -shard)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 		spansPath    = flag.String("spans", "", "write scheduling spans as JSON lines to this file, - for stderr")
 		tracePath    = flag.String("trace", "", "write VO lifecycle events as JSON lines to this file, - for stderr; sharing the -spans path interleaves both streams line-atomically")
@@ -160,9 +172,38 @@ func main() {
 		cfg.Breaker = &breaker.Config{Threshold: *brThreshold, JitterFrac: 0.2, Seed: *seed + 2}
 	}
 
+	// Federation glue (-shard): the member serves the handoff/revoke/ping
+	// endpoints in front of the service and, with -join, runs the rejoin
+	// handshake and pushes terminal notices to the router. Recovered jobs
+	// are then parked for the router's join ruling instead of requeued
+	// blindly, and -lease parks the engine whenever the router has gone
+	// silent, so a partitioned shard stops starting work the router may be
+	// reallocating to a survivor. Without -shard none of this is built and
+	// gridd behaves exactly as before.
+	if *shardName == "" && (*joinURL != "" || *leaseTimeout > 0) {
+		log.Fatalf("gridd: -join and -lease require -shard")
+	}
+	var member *federation.Member
+	var lease *federation.Lease
+	if *shardName != "" {
+		if *leaseTimeout > 0 {
+			lease = federation.NewLease(*leaseTimeout)
+			cfg.Gate = lease.Fresh
+		}
+		member = federation.NewMember(federation.MemberConfig{
+			Shard: *shardName, Router: *joinURL, Lease: lease,
+			Seed: *seed + 3, Telemetry: reg, Logf: log.Printf,
+		})
+		cfg.OnTerminal = member.Terminal
+		cfg.HoldRecovered = true
+	}
+
 	srv, err := service.New(cfg)
 	if err != nil {
 		log.Fatalf("gridd: %v", err)
+	}
+	if lease != nil {
+		lease.OnRefresh(srv.Kick)
 	}
 	if recovered != nil {
 		stats, err := srv.Restore(recovered)
@@ -177,6 +218,11 @@ func main() {
 	srv.Start()
 
 	handler := srv.Handler()
+	if member != nil {
+		member.Bind(srv)
+		member.Start()
+		handler = member.Handler(handler)
+	}
 	if *pprofOn {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -204,6 +250,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()
+	if member != nil {
+		member.Close()
+	}
 	if err := srv.Drain(ctx); err != nil {
 		log.Printf("gridd: drain: %v", err)
 	}

@@ -1,0 +1,194 @@
+// Command gridfront runs the federation front tier: a consistent-hash
+// router that partitions submitted jobs across N gridd metascheduler
+// shards over the versioned federation wire protocol. Clients talk to it
+// exactly as they talk to a single gridd (POST /v1/jobs), and the router
+// handles shard failure detection, partition-safe handoff retries,
+// confirmed revocation and cross-shard reallocation behind that one
+// endpoint.
+//
+// With -journal-dir set, the router's placement ledger is crash-safe:
+// every binding, revocation and terminal result is journaled before it is
+// acknowledged, and on startup the ledger is replayed — in-doubt bindings
+// are reconciled against the owning shard before the job is retried or
+// reallocated, so an accepted job reaches a terminal state exactly once
+// across any SIGKILL/restart sequence on either side.
+//
+// Usage:
+//
+//	gridfront -listen :8070 -shard s0=http://127.0.0.1:8081 -shard s1=http://127.0.0.1:8082
+//	gridfront -journal-dir /var/lib/gridfront/journal -fsync always \
+//	    -heartbeat 250ms -dead-after 4 -retry-budget 3
+//
+// See README.md ("Federated metascheduling") for a full multi-process
+// walkthrough and DESIGN.md §13 for the failure model.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/breaker"
+	"repro/internal/federation"
+	"repro/internal/journal"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// shardFlags collects repeated -shard name=url flags in order.
+type shardFlags []struct{ name, base string }
+
+func (s *shardFlags) String() string {
+	parts := make([]string, len(*s))
+	for i, sh := range *s {
+		parts[i] = sh.name + "=" + sh.base
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *shardFlags) Set(v string) error {
+	name, base, ok := strings.Cut(v, "=")
+	if !ok || name == "" || base == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	for _, sh := range *s {
+		if sh.name == name {
+			return fmt.Errorf("duplicate shard name %q", name)
+		}
+	}
+	*s = append(*s, struct{ name, base string }{name, base})
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	var (
+		listen       = flag.String("listen", ":8070", "HTTP listen address")
+		origin       = flag.String("origin", "gridfront", "router name stamped into handoffs and revocations")
+		replicas     = flag.Int("replicas", 0, "consistent-hash virtual points per shard (0 = default)")
+		seed         = flag.Uint64("seed", 1, "seed for backoff jitter and breaker jitter")
+		heartbeat    = flag.Duration("heartbeat", 250*time.Millisecond, "shard ping period")
+		deadAfter    = flag.Int("dead-after", 4, "consecutive missed heartbeats that declare a shard dead")
+		retryBudget  = flag.Int("retry-budget", 3, "handoff attempts per binding before revocation starts")
+		retryBase    = flag.Duration("retry-base", 100*time.Millisecond, "base handoff retry backoff")
+		retryCap     = flag.Duration("retry-cap", 2*time.Second, "handoff retry backoff cap")
+		rpcTimeout   = flag.Duration("rpc-timeout", 2*time.Second, "one handoff/revoke RPC budget (also the propagated deadline)")
+		workers      = flag.Int("workers", 4, "dispatcher pool size")
+		brThreshold  = flag.Int("breaker-threshold", 5, "consecutive failures that trip a shard breaker (0 disables)")
+		journalDir   = flag.String("journal-dir", "", "write-ahead placement journal directory; empty disables crash safety")
+		fsyncMode    = flag.String("fsync", "always", "journal fsync policy: always|interval|never")
+		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval")
+		segmentBytes = flag.Int64("segment-bytes", 4<<20, "journal segment rotation threshold")
+		compactEvery = flag.Int("compact-every", 256, "terminal jobs between journal compactions (0 = only on recovery/drain)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Var(&shards, "shard", "shard as name=url (repeatable, required)")
+	flag.Parse()
+
+	if len(shards) == 0 {
+		log.Fatalf("gridfront: at least one -shard name=url is required")
+	}
+
+	reg := telemetry.NewRegistry()
+
+	var jnl *journal.Journal
+	var recovered *journal.Recovery
+	if *journalDir != "" {
+		policy, err := journal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("gridfront: %v", err)
+		}
+		jnl, recovered, err = journal.Open(journal.Options{
+			Dir:           *journalDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncEvery,
+			SegmentBytes:  *segmentBytes,
+			CompactEvery:  *compactEvery,
+			IsTerminal:    service.Terminal,
+			Telemetry:     reg,
+		})
+		if err != nil {
+			log.Fatalf("gridfront: %v", err)
+		}
+		defer jnl.Close()
+		if recovered.TornBytes > 0 {
+			log.Printf("gridfront: journal: truncated torn tail (%d bytes: %s)", recovered.TornBytes, recovered.TornReason)
+		}
+	}
+
+	client := &http.Client{Timeout: *rpcTimeout + time.Second}
+	fleet := make([]federation.ShardClient, len(shards))
+	for i, sh := range shards {
+		fleet[i] = federation.NewHTTPShard(sh.name, sh.base, client)
+	}
+
+	cfg := federation.Config{
+		Origin:            *origin,
+		Shards:            fleet,
+		Replicas:          *replicas,
+		Journal:           jnl,
+		Telemetry:         reg,
+		HeartbeatInterval: *heartbeat,
+		DeadAfter:         *deadAfter,
+		RetryBudget:       *retryBudget,
+		RetryBase:         *retryBase,
+		RetryCap:          *retryCap,
+		HandoffTimeout:    *rpcTimeout,
+		Seed:              *seed,
+		Workers:           *workers,
+		Logf:              log.Printf,
+	}
+	if *brThreshold > 0 {
+		cfg.Breaker = breaker.Config{Threshold: *brThreshold, JitterFrac: 0.2, Seed: *seed + 2}
+	}
+
+	router, err := federation.New(cfg)
+	if err != nil {
+		log.Fatalf("gridfront: %v", err)
+	}
+	if recovered != nil {
+		n, err := router.Restore(recovered)
+		if err != nil {
+			log.Fatalf("gridfront: recovery: %v", err)
+		}
+		if n > 0 {
+			log.Printf("gridfront: recovered %d jobs from the placement journal", n)
+		}
+	}
+	router.Start()
+
+	httpSrv := &http.Server{Addr: *listen, Handler: router.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("gridfront: routing across %d shards on %s (heartbeat %s, dead-after %d, retry budget %d)",
+		len(fleet), *listen, *heartbeat, *deadAfter, *retryBudget)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("gridfront: %s received, draining (budget %s)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("gridfront: http: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := router.Drain(ctx); err != nil {
+		log.Printf("gridfront: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("gridfront: http shutdown: %v", err)
+	}
+	router.Close()
+	m := router.Metrics()
+	log.Printf("gridfront: drained — accepted=%d completed=%d rejected=%d reallocated=%d revocations=%d",
+		m.Accepted, m.Completed, m.Rejected, m.Reallocated, m.Revocations)
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestShardFlags(t *testing.T) {
+	var s shardFlags
+	if err := s.Set("s0=http://127.0.0.1:8081"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("s1=http://127.0.0.1:8082"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.String(), "s0=http://127.0.0.1:8081,s1=http://127.0.0.1:8082"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	if s[0].name != "s0" || s[1].base != "http://127.0.0.1:8082" {
+		t.Fatalf("parsed fleet = %+v", s)
+	}
+
+	for _, bad := range []string{"", "nameonly", "=http://x", "s2="} {
+		if err := s.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted, want error", bad)
+		}
+	}
+	if err := s.Set("s0=http://elsewhere:9"); err == nil {
+		t.Fatal("duplicate shard name accepted")
+	}
+	if len(s) != 2 {
+		t.Fatalf("fleet grew on rejected flags: %+v", s)
+	}
+}

@@ -36,6 +36,57 @@ type httpState struct {
 	backoffSeconds float64
 }
 
+// targetPool round-robins submissions across the -target fleet and keeps
+// per-target Retry-After state: a target that answered 429/503 with a
+// hint is skipped until the hint expires, so one overloaded shard or
+// router never stalls the offered load to the rest of the fleet.
+type targetPool struct {
+	mu    sync.Mutex
+	urls  []string
+	next  int
+	until []time.Time // per-target backoff expiry
+}
+
+func newTargetPool(urls []string) *targetPool {
+	return &targetPool{urls: urls, until: make([]time.Time, len(urls))}
+}
+
+// pick returns the round-robin-next target that is not backing off. When
+// every target is backing off, it returns the one whose hint expires
+// soonest plus how long the caller must wait before using it — with a
+// single target this degenerates to the classic sleep-and-retry.
+func (p *targetPool) pick(now time.Time) (idx int, wait time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.urls)
+	best, bestWait := -1, time.Duration(0)
+	for off := 0; off < n; off++ {
+		i := (p.next + off) % n
+		w := p.until[i].Sub(now)
+		if w <= 0 {
+			p.next = (i + 1) % n
+			return i, 0
+		}
+		if best < 0 || w < bestWait {
+			best, bestWait = i, w
+		}
+	}
+	p.next = (best + 1) % n
+	return best, bestWait
+}
+
+// setBackoff records a Retry-After hint for one target; hints only ever
+// extend the backoff window.
+func (p *targetPool) setBackoff(idx int, d time.Duration, now time.Time) {
+	p.mu.Lock()
+	if u := now.Add(d); u.After(p.until[idx]) {
+		p.until[idx] = u
+	}
+	p.mu.Unlock()
+}
+
+func (p *targetPool) url(idx int) string { return p.urls[idx] }
+
 // runHTTP paces the arrival schedule on the wall clock against a live
 // daemon: each arrival fires at start + At·tick on its own goroutine, so
 // a slow or shedding server never slows the offered load (open loop).
@@ -43,13 +94,17 @@ type httpState struct {
 // terminal state, then reads the server-side counters and scrapes
 // /metrics for the admission-latency histogram.
 func runHTTP(o options) (*scalereport.Report, error) {
+	if len(o.targets) == 0 {
+		return nil, fmt.Errorf("-mode http needs at least one -target")
+	}
 	gen := workload.New(workloadConfig(o))
 	flow := gen.FlowWith(o.spec, 0, o.jobs, 0)
 	client := &http.Client{Timeout: 30 * time.Second}
+	pool := newTargetPool(o.targets)
 
-	var m0 service.Metrics
-	if err := getJSON(client, o.target+"/v1/metrics", &m0); err != nil {
-		return nil, fmt.Errorf("target %s unreachable: %w", o.target, err)
+	m0, err := sumMetrics(client, o.targets)
+	if err != nil {
+		return nil, err
 	}
 
 	st := &httpState{accepted: make(map[string]bool)}
@@ -63,18 +118,23 @@ func runHTTP(o options) (*scalereport.Report, error) {
 		wg.Add(1)
 		go func(i int, a workload.Arrival) {
 			defer wg.Done()
-			submitHTTP(o, client, st, i, a)
+			submitHTTP(o, client, pool, st, i, a)
 		}(i, a)
 	}
 	wg.Wait()
 
 	// Wait for every accepted job to turn terminal (goodput needs the
-	// completions, not just the 202s).
+	// completions, not just the 202s). A job's record lives on whichever
+	// target accepted it, so poll the whole fleet and merge.
 	deadline := time.Now().Add(o.wait)
 	for {
 		var recs []service.Record
-		if err := getJSON(client, o.target+"/v1/jobs", &recs); err != nil {
-			return nil, fmt.Errorf("poll jobs: %w", err)
+		for _, target := range o.targets {
+			var part []service.Record
+			if err := getJSON(client, target+"/v1/jobs", &part); err != nil {
+				return nil, fmt.Errorf("poll jobs on %s: %w", target, err)
+			}
+			recs = append(recs, part...)
 		}
 		pending := 0
 		terminal := map[string]uint64{}
@@ -99,9 +159,9 @@ func runHTTP(o options) (*scalereport.Report, error) {
 	}
 	elapsed := time.Since(start).Seconds()
 
-	var m1 service.Metrics
-	if err := getJSON(client, o.target+"/v1/metrics", &m1); err != nil {
-		return nil, fmt.Errorf("final metrics: %w", err)
+	m1, err := sumMetrics(client, o.targets)
+	if err != nil {
+		return nil, err
 	}
 	det := st.det
 	det.Submitted = m1.Submitted - m0.Submitted
@@ -118,7 +178,7 @@ func runHTTP(o options) (*scalereport.Report, error) {
 		det.GoodputPerKTicks = float64(det.Completed) * 1000 / float64(ticks)
 	}
 
-	p50, p95, p99, p999, err := scrapeQueueWait(client, o.target)
+	p50, p95, p99, p999, err := scrapeQueueWait(client, o.targets)
 	if err != nil {
 		return nil, err
 	}
@@ -143,11 +203,14 @@ func runHTTP(o options) (*scalereport.Report, error) {
 	}, nil
 }
 
-// submitHTTP posts one job, honoring Retry-After backoff on 429/503 for
-// up to two retries when configured. The recorded client latency spans
+// submitHTTP posts one job to the next round-robin target, honoring
+// per-target Retry-After backoff on 429/503 for up to two retries when
+// configured: an overloaded target is marked off-limits until its hint
+// expires and the retry goes to the next eligible target, sleeping only
+// when the whole fleet is backing off. The recorded client latency spans
 // the first POST through the final response, backoff included — that is
 // what a well-behaved client actually experiences end to end.
-func submitHTTP(o options, client *http.Client, st *httpState, i int, a workload.Arrival) {
+func submitHTTP(o options, client *http.Client, pool *targetPool, st *httpState, i int, a workload.Arrival) {
 	wire := jobio.FromJob(a.Job)
 	wire.Deadline = int64(a.Job.Deadline - a.At)
 	body, err := json.Marshal(submitBody{Job: wire, Strategy: o.strategy, Priority: i % o.priorities})
@@ -160,7 +223,12 @@ func submitHTTP(o options, client *http.Client, st *httpState, i int, a workload
 	var retries int
 	var backoff float64
 	for {
-		resp, err := client.Post(o.target+"/v1/jobs", "application/json", bytes.NewReader(body))
+		idx, wait := pool.pick(time.Now())
+		if wait > 0 {
+			backoff += wait.Seconds()
+			time.Sleep(wait)
+		}
+		resp, err := client.Post(pool.url(idx)+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridload: post %s: %v\n", wire.Name, err)
 			return
@@ -183,9 +251,8 @@ func submitHTTP(o options, client *http.Client, st *httpState, i int, a workload
 		if !ok {
 			secs = 1
 		}
+		pool.setBackoff(idx, time.Duration(secs)*time.Second, time.Now())
 		retries++
-		backoff += float64(secs)
-		time.Sleep(time.Duration(secs) * time.Second)
 	}
 	lat := time.Since(t0).Seconds()
 
@@ -218,6 +285,32 @@ func parseRetryAfter(resp *http.Response) (int, bool) {
 	return secs, true
 }
 
+// sumMetrics aggregates the admission counters across the fleet; the
+// queue high-water mark takes the fleet maximum and engine ticks sum (the
+// goodput denominator is total scheduling work done).
+func sumMetrics(client *http.Client, targets []string) (service.Metrics, error) {
+	var sum service.Metrics
+	for _, target := range targets {
+		var m service.Metrics
+		if err := getJSON(client, target+"/v1/metrics", &m); err != nil {
+			return sum, fmt.Errorf("target %s unreachable: %w", target, err)
+		}
+		sum.Submitted += m.Submitted
+		sum.Accepted += m.Accepted
+		sum.Completed += m.Completed
+		sum.Rejected += m.Rejected
+		sum.Shed += m.Shed
+		sum.Infeasible += m.Infeasible
+		sum.Overloaded += m.Overloaded
+		sum.Drained += m.Drained
+		sum.EngineNow += m.EngineNow
+		if m.QueueHighWater > sum.QueueHighWater {
+			sum.QueueHighWater = m.QueueHighWater
+		}
+	}
+	return sum, nil
+}
+
 // getJSON fetches url and decodes the body.
 func getJSON(client *http.Client, url string, out any) error {
 	resp, err := client.Get(url)
@@ -231,23 +324,47 @@ func getJSON(client *http.Client, url string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// scrapeQueueWait reads the Prometheus exposition from /metrics and
-// estimates the queue-wait percentiles from the fixed buckets — the same
-// linear-interpolation estimate telemetry.Histogram.Quantile computes
-// in process, demonstrating that p99 is recoverable from scrape data.
-func scrapeQueueWait(client *http.Client, target string) (p50, p95, p99, p999 float64, err error) {
-	resp, err := client.Get(target + "/metrics")
-	if err != nil {
-		return 0, 0, 0, 0, err
+// scrapeQueueWait reads the Prometheus exposition from every target's
+// /metrics and estimates the fleet-wide queue-wait percentiles from the
+// merged fixed buckets — the same linear-interpolation estimate
+// telemetry.Histogram.Quantile computes in process, demonstrating that
+// p99 is recoverable from scrape data. Targets without the series (a
+// gridfront router runs no admission queue of its own) are skipped, as
+// long as at least one target exposes it.
+func scrapeQueueWait(client *http.Client, targets []string) (p50, p95, p99, p999 float64, err error) {
+	merged := map[float64]uint64{}
+	for _, target := range targets {
+		resp, err := client.Get(target + "/metrics")
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		bounds, cums, err := parseBuckets(string(data), "grid_service_queue_wait_seconds_bucket")
+		if err != nil {
+			continue
+		}
+		for i, b := range bounds {
+			merged[b] += cums[i]
+		}
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return 0, 0, 0, 0, err
+	if len(merged) == 0 {
+		// A fleet with no admission queue anywhere (e.g. only a gridfront
+		// router, which queues on its shards, not locally) has no wait
+		// histogram to report; zero percentiles, not a failed run.
+		return 0, 0, 0, 0, nil
 	}
-	bounds, cums, err := parseBuckets(string(data), "grid_service_queue_wait_seconds_bucket")
-	if err != nil {
-		return 0, 0, 0, 0, err
+	bounds := make([]float64, 0, len(merged))
+	for b := range merged {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	cums := make([]uint64, len(bounds))
+	for i, b := range bounds {
+		cums[i] = merged[b]
 	}
 	q := func(p float64) float64 { return finiteOrZero(bucketQuantile(bounds, cums, p)) }
 	return q(0.5), q(0.95), q(0.99), q(0.999), nil

@@ -17,32 +17,50 @@
 //     latencies land in the "wallClock" section. The run ends with a
 //     Drain while the queue is still loaded, so drain-under-load
 //     behavior is part of every measurement.
-//   - -mode http drives a real gridd daemon over the wire at -target,
-//     pacing submissions on the wall clock (-tick per model tick),
-//     measuring client-observed end-to-end latency, 429/503 rates and
-//     Retry-After-honoring backoff, then scraping /metrics for the
-//     server-side admission-latency percentiles.
+//   - -mode http drives real daemons over the wire at one or more
+//     -target URLs (gridd or gridfront; repeat the flag to round-robin
+//     submissions across a fleet), pacing submissions on the wall clock
+//     (-tick per model tick), measuring client-observed end-to-end
+//     latency, 429/503 rates and per-target Retry-After-honoring backoff
+//     (an overloaded target is skipped until its hint expires while the
+//     rest keep receiving load), then scraping every target's /metrics
+//     for the aggregate admission-latency percentiles.
 //
 // Usage:
 //
 //	gridload -seed 1 -jobs 500 -arrival bursty -out BENCH_scale.json
 //	gridload -mode http -target http://localhost:8080 -jobs 200 -tick 5ms
+//	gridload -mode http -target http://localhost:8081 -target http://localhost:8082 -jobs 500
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/scalereport"
 	"repro/internal/workload"
 )
 
+// targetList collects repeated -target flags in order.
+type targetList []string
+
+func (t *targetList) String() string { return strings.Join(*t, ",") }
+
+func (t *targetList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty target URL")
+	}
+	*t = append(*t, v)
+	return nil
+}
+
 // options collects the parsed flags; run dispatches on mode.
 type options struct {
 	mode       string
-	target     string
+	targets    []string
 	seed       uint64
 	jobs       int
 	arrival    workload.ProcessKind
@@ -63,9 +81,9 @@ type options struct {
 }
 
 func main() {
+	var targets targetList
 	var (
 		mode       = flag.String("mode", "inprocess", "inprocess (deterministic, manual-mode service) or http (drive a live daemon)")
-		target     = flag.String("target", "http://localhost:8080", "gridd base URL for -mode http")
 		seed       = flag.Uint64("seed", 1, "seed for the environment, job corpus and arrival process")
 		jobs       = flag.Int("jobs", 500, "number of jobs to offer")
 		arrival    = flag.String("arrival", "poisson", "arrival process: poisson, bursty or diurnal")
@@ -87,7 +105,11 @@ func main() {
 		wait       = flag.Duration("wait", 60*time.Second, "http: how long to wait for accepted jobs to reach a terminal state")
 		out        = flag.String("out", "BENCH_scale.json", "where to write the report artifact")
 	)
+	flag.Var(&targets, "target", "gridd or gridfront base URL for -mode http (repeatable: submissions round-robin across targets)")
 	flag.Parse()
+	if len(targets) == 0 {
+		targets = targetList{"http://localhost:8080"}
+	}
 
 	kind, err := workload.ParseProcess(*arrival)
 	if err != nil {
@@ -95,7 +117,7 @@ func main() {
 		os.Exit(2)
 	}
 	o := options{
-		mode: *mode, target: *target, seed: *seed, jobs: *jobs,
+		mode: *mode, targets: targets, seed: *seed, jobs: *jobs,
 		arrival: kind,
 		spec: workload.ArrivalSpec{
 			Kind: kind, OnMean: *onMean, OffMean: *offMean,

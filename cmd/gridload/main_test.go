@@ -130,7 +130,7 @@ func TestHTTPMode(t *testing.T) {
 
 	o := testOptions()
 	o.mode = "http"
-	o.target = ts.URL
+	o.targets = []string{ts.URL}
 	o.jobs = 40
 	o.seed = 7
 	o.honorRetry = false // no wall-clock backoff sleeps in tests

@@ -19,13 +19,17 @@
 //
 // Time is the caller's model time (simtime.Time): in the in-process
 // simulation the breaker advances with the engine clock, which keeps every
-// transition deterministic and replayable. The breaker is not
-// goroutine-safe; the service confines it to the engine goroutine.
+// transition deterministic and replayable. Breakers are safe for
+// concurrent use — the federation router drives per-shard breakers from
+// concurrent heartbeat and handoff handlers — and a sequential caller
+// (the engine goroutine) observes exactly the unlocked behavior, so the
+// deterministic simulation stays byte-identical.
 package breaker
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/rng"
@@ -121,6 +125,7 @@ type Breaker struct {
 	cfg  Config
 	r    *rng.Source
 
+	mu       sync.Mutex
 	state    State
 	fails    int          // consecutive failures while closed
 	trips    int          // consecutive open episodes (resets on close)
@@ -173,6 +178,12 @@ func (b *Breaker) Name() string { return b.name }
 // State returns the breaker's state at model time now, resolving an
 // expired open window to HalfOpen.
 func (b *Breaker) State(now simtime.Time) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(now)
+}
+
+func (b *Breaker) stateLocked(now simtime.Time) State {
 	if b.state == Open && now >= b.until {
 		return HalfOpen
 	}
@@ -182,9 +193,12 @@ func (b *Breaker) State(now simtime.Time) State {
 // Allow reports whether work may be sent to the resource at model time
 // now. In the half-open state only one probe may be outstanding at a
 // time; Allow returning true for a probe marks it in flight until the
-// next Success or Failure observation.
+// next Success or Failure observation — under concurrency, exactly one
+// of any number of simultaneous callers wins the probe slot.
 func (b *Breaker) Allow(now simtime.Time) bool {
-	switch b.State(now) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
 	case Closed:
 		return true
 	case Open:
@@ -207,7 +221,9 @@ func (b *Breaker) Allow(now simtime.Time) bool {
 
 // Success records a successful unit of work finishing at model time now.
 func (b *Breaker) Success(now simtime.Time) {
-	switch b.State(now) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked(now) {
 	case Closed:
 		b.fails = 0
 	case HalfOpen:
@@ -232,9 +248,11 @@ func (b *Breaker) Success(now simtime.Time) {
 // probe failure) opens the breaker for an exponentially growing,
 // jittered window.
 func (b *Breaker) Failure(now simtime.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.totalFailures++
 	b.failsC.Inc()
-	switch b.State(now) {
+	switch b.stateLocked(now) {
 	case Closed:
 		b.fails++
 		if b.fails >= b.cfg.threshold() {
@@ -268,23 +286,36 @@ func (b *Breaker) trip(now simtime.Time) {
 // RetryAfter returns how long from now until the breaker would next admit
 // work — zero when it already would.
 func (b *Breaker) RetryAfter(now simtime.Time) simtime.Time {
-	if b.State(now) == Open {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked(now) == Open {
 		return b.until - now
 	}
 	return 0
 }
 
 // Trips returns how many times the breaker has ever opened.
-func (b *Breaker) Trips() int { return b.totalTrips }
+func (b *Breaker) Trips() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totalTrips
+}
 
 // Failures returns how many failures the breaker has ever observed.
-func (b *Breaker) Failures() int { return b.totalFailures }
+func (b *Breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totalFailures
+}
 
 // Set manages one breaker per named resource, created lazily with a
-// shared config and per-name seeded jitter streams.
+// shared config and per-name seeded jitter streams. Safe for concurrent
+// use.
 type Set struct {
 	cfg Config
-	m   map[string]*Breaker
+
+	mu sync.Mutex
+	m  map[string]*Breaker
 }
 
 // NewSet returns an empty set.
@@ -294,6 +325,8 @@ func NewSet(cfg Config) *Set {
 
 // Get returns the breaker for name, creating it closed on first use.
 func (s *Set) Get(name string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	b, ok := s.m[name]
 	if !ok {
 		b = New(name, s.cfg)
@@ -313,6 +346,8 @@ func (s *Set) Failure(name string, now simtime.Time) { s.Get(name).Failure(now) 
 
 // Names returns the set's resource names in sorted order.
 func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.m))
 	for n := range s.m {
 		out = append(out, n)
@@ -323,8 +358,14 @@ func (s *Set) Names() []string {
 
 // States returns every breaker's state at now, keyed by name.
 func (s *Set) States(now simtime.Time) map[string]string {
-	out := make(map[string]string, len(s.m))
+	s.mu.Lock()
+	breakers := make(map[string]*Breaker, len(s.m))
 	for n, b := range s.m {
+		breakers[n] = b
+	}
+	s.mu.Unlock()
+	out := make(map[string]string, len(breakers))
+	for n, b := range breakers {
 		out[n] = b.State(now).String()
 	}
 	return out

@@ -1,0 +1,242 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/jobio"
+	"repro/internal/metasched"
+	"repro/internal/service"
+)
+
+// The shards=1 differential suite: a federated deployment with one shard
+// (Sync router + LocalShard) must be observationally identical to a plain
+// service.Server — same submit outcomes, same ledger, same engine trace
+// bytes, same metrics — over seeded mixed workloads. This is the pin that
+// lets federation ship without perturbing the single-node paper results.
+
+// diffOp is one scripted action against both deployments.
+type diffOp struct {
+	submit   *SubmitRequest
+	process  int  // Process(n) on the engine when > 0
+	quiesce  bool // run the engine dry
+	resubmit int  // with resubmitOp: resubmit the i-th earlier job
+	kind     string
+}
+
+const resubmitOp = "resubmit"
+
+// diffWorkload generates a seeded mixed workload: feasible jobs across
+// strategies and priorities, infeasible deadlines, invalid payloads,
+// duplicate resubmissions, and interleaved engine progress.
+func diffWorkload(seed int64, n int) []diffOp {
+	r := rand.New(rand.NewSource(seed))
+	strategies := []string{"S1", "S2", "S3"}
+	var ops []diffOp
+	for i := 0; i < n; i++ {
+		switch k := r.Intn(10); {
+		case k < 6: // feasible job
+			ops = append(ops, diffOp{submit: &SubmitRequest{
+				Job:      testJob(fmt.Sprintf("seed%d-job%d", seed, i), int64(10+r.Intn(90))),
+				Strategy: strategies[r.Intn(len(strategies))],
+				Priority: r.Intn(3),
+			}})
+		case k == 6: // infeasible deadline
+			ops = append(ops, diffOp{submit: &SubmitRequest{
+				Job:      testJob(fmt.Sprintf("seed%d-inf%d", seed, i), int64(1+r.Intn(3))),
+				Strategy: "S1",
+			}})
+		case k == 7: // invalid strategy
+			ops = append(ops, diffOp{submit: &SubmitRequest{
+				Job:      testJob(fmt.Sprintf("seed%d-bad%d", seed, i), 60),
+				Strategy: "NOPE",
+			}})
+		case k == 8: // duplicate of an earlier submission
+			ops = append(ops, diffOp{kind: resubmitOp, resubmit: r.Intn(i + 1)})
+		default: // let the engine make progress
+			ops = append(ops, diffOp{process: 1 + r.Intn(4)})
+		}
+	}
+	ops = append(ops, diffOp{quiesce: true})
+	return ops
+}
+
+// diffDeployment is either side of the comparison behind one interface.
+type diffDeployment struct {
+	submit  func(jobio.Job, string, int) (string, error)
+	svc     *service.Server // the engine to drive
+	trace   *bytes.Buffer
+	metrics func() service.Metrics
+}
+
+func newPlainDeployment(t *testing.T, seed uint64) *diffDeployment {
+	t.Helper()
+	var trace bytes.Buffer
+	svc, err := service.New(service.Config{
+		Env:   testEnv(),
+		Sched: metasched.Config{Seed: seed, Tracer: metasched.NewJSONLTracer(&trace)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &diffDeployment{
+		submit: func(w jobio.Job, s string, p int) (string, error) {
+			rec, err := svc.Submit(w, s, p)
+			if rec == nil {
+				return "", err
+			}
+			return rec.State, err
+		},
+		svc: svc, trace: &trace, metrics: svc.Metrics,
+	}
+}
+
+func newFederatedDeployment(t *testing.T, seed uint64) *diffDeployment {
+	t.Helper()
+	var trace bytes.Buffer
+	var rt *Router
+	svc, err := service.New(service.Config{
+		Env:   testEnv(),
+		Sched: metasched.Config{Seed: seed, Tracer: metasched.NewJSONLTracer(&trace)},
+		OnTerminal: func(rec service.Record) {
+			rt.HandleTerminal(&TerminalNotice{Shard: "s0", Job: rec.ID, State: rec.State, Reason: rec.Reason})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Shards: []ShardClient{NewLocalShard("s0", svc)}, Seed: seed, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+	return &diffDeployment{
+		submit: func(w jobio.Job, s string, p int) (string, error) {
+			view, err := r.Submit(w, s, p)
+			return view.State, err
+		},
+		svc: svc, trace: &trace, metrics: svc.Metrics,
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	var se *service.SubmitError
+	if errors.As(err, &se) {
+		return fmt.Sprintf("%s|%s", se.Code, se.Reason)
+	}
+	return "other|" + err.Error()
+}
+
+func TestSingleShardFederationIsByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plain := newPlainDeployment(t, uint64(seed))
+			fed := newFederatedDeployment(t, uint64(seed))
+			ops := diffWorkload(seed, 60)
+
+			var submitted []SubmitRequest
+			for i, op := range ops {
+				switch {
+				case op.submit != nil:
+					submitted = append(submitted, *op.submit)
+					_, perr := plain.submit(op.submit.Job, op.submit.Strategy, op.submit.Priority)
+					_, ferr := fed.submit(op.submit.Job, op.submit.Strategy, op.submit.Priority)
+					if errString(perr) != errString(ferr) {
+						t.Fatalf("op %d: submit outcome diverged:\nplain: %s\nfed:   %s", i, errString(perr), errString(ferr))
+					}
+				case op.kind == resubmitOp:
+					if op.resubmit >= len(submitted) {
+						continue
+					}
+					req := submitted[op.resubmit]
+					_, perr := plain.submit(req.Job, req.Strategy, req.Priority)
+					_, ferr := fed.submit(req.Job, req.Strategy, req.Priority)
+					if errString(perr) != errString(ferr) {
+						t.Fatalf("op %d: duplicate probe diverged:\nplain: %s\nfed:   %s", i, errString(perr), errString(ferr))
+					}
+				case op.process > 0:
+					pn := plain.svc.Process(op.process)
+					fn := fed.svc.Process(op.process)
+					if pn != fn {
+						t.Fatalf("op %d: Process(%d) = %d vs %d", i, op.process, pn, fn)
+					}
+				case op.quiesce:
+					plain.svc.Quiesce()
+					fed.svc.Quiesce()
+				}
+			}
+
+			// Job fates: the full ledgers must match record for record.
+			pj, fj := plain.svc.Jobs(), fed.svc.Jobs()
+			if len(pj) != len(fj) {
+				t.Fatalf("ledger sizes diverged: %d vs %d", len(pj), len(fj))
+			}
+			for i := range pj {
+				if pj[i] != fj[i] {
+					t.Fatalf("record %d diverged:\nplain: %+v\nfed:   %+v", i, pj[i], fj[i])
+				}
+			}
+
+			// Traces: the engine event stream must be byte-identical.
+			if !bytes.Equal(plain.trace.Bytes(), fed.trace.Bytes()) {
+				t.Fatalf("trace bytes diverged (%d vs %d bytes)",
+					plain.trace.Len(), fed.trace.Len())
+			}
+
+			// Reports: the counters snapshot must serialize identically.
+			pm, _ := json.Marshal(plain.metrics())
+			fm, _ := json.Marshal(fed.metrics())
+			if !bytes.Equal(pm, fm) {
+				t.Fatalf("metrics diverged:\nplain: %s\nfed:   %s", pm, fm)
+			}
+		})
+	}
+}
+
+// TestSyncRouterMirrorsShardFates checks the router's OWN ledger agrees
+// with the shard after a sync run — every accepted job's router fate is
+// the shard fate.
+func TestSyncRouterMirrorsShardFates(t *testing.T) {
+	var rt *Router
+	var svc *service.Server
+	var err error
+	svc, err = service.New(service.Config{
+		Env:   testEnv(),
+		Sched: metasched.Config{Seed: 42},
+		OnTerminal: func(rec service.Record) {
+			rt.HandleTerminal(&TerminalNotice{Shard: "s0", Job: rec.ID, State: rec.State, Reason: rec.Reason})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(Config{Shards: []ShardClient{NewLocalShard("s0", svc)}, Seed: 42, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+	for i := 0; i < 20; i++ {
+		if _, err := r.Submit(testJob(fmt.Sprintf("job-%d", i), 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Process(-1)
+	svc.Quiesce()
+	for _, view := range r.Jobs() {
+		srec, ok := svc.Job(view.ID)
+		if !ok {
+			t.Fatalf("router job %s missing from shard", view.ID)
+		}
+		if view.State != srec.State {
+			t.Fatalf("job %s: router %q vs shard %q", view.ID, view.State, srec.State)
+		}
+	}
+}

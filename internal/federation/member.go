@@ -1,0 +1,562 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/simtime"
+	"repro/internal/telemetry"
+)
+
+// Lease tracks the freshness of router contact on a shard. The service's
+// dequeue gate closes when the lease goes stale, so a shard partitioned
+// away from its router stops STARTING new jobs (already-started ones
+// finish) — which keeps its queue revocable and lets the router reallocate
+// it. Every router contact (ping, handoff, revoke) refreshes the lease.
+//
+// Safety does not depend on the lease: a shard that raced a job into its
+// engine before the lease expired simply answers "inflight" to the revoke
+// and the router leaves the job bound. The lease only shrinks that window.
+type Lease struct {
+	timeout time.Duration
+	last    atomic.Int64 // unix nanos of the most recent router contact
+	kick    atomic.Value // func(): re-evaluate the service gate
+}
+
+// NewLease returns a lease that is fresh now. timeout ≤ 0 never expires
+// (standalone mode).
+func NewLease(timeout time.Duration) *Lease {
+	l := &Lease{timeout: timeout}
+	l.last.Store(time.Now().UnixNano())
+	return l
+}
+
+// OnRefresh registers the callback run after every refresh — the service's
+// Kick, so a gated engine loop wakes up.
+func (l *Lease) OnRefresh(f func()) { l.kick.Store(f) }
+
+// Refresh records router contact now.
+func (l *Lease) Refresh() {
+	l.last.Store(time.Now().UnixNano())
+	if f, ok := l.kick.Load().(func()); ok && f != nil {
+		f()
+	}
+}
+
+// Fresh reports whether the shard has heard from its router recently
+// enough to keep starting new work.
+func (l *Lease) Fresh() bool {
+	if l == nil || l.timeout <= 0 {
+		return true
+	}
+	return time.Since(time.Unix(0, l.last.Load())) < l.timeout
+}
+
+// MemberConfig configures a shard's federation glue.
+type MemberConfig struct {
+	// Shard is this shard's name in the fleet. Required.
+	Shard string
+	// Router is the router's base URL. Empty runs the member in standalone
+	// mode: the federation endpoints still serve (so a router can adopt
+	// the shard later) but no join handshake or terminal notifications are
+	// sent.
+	Router string
+	// Lease, when non-nil, is refreshed on every router contact.
+	Lease *Lease
+	// Client is the HTTP client for join/terminal calls. nil uses a
+	// 5-second-timeout default.
+	Client *http.Client
+	// RetryBase/RetryCap bound the jittered exponential backoff between
+	// join and terminal-notification attempts. Defaults 100ms / 5s.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// JitterFrac spreads the backoff (default 0.2); Seed drives it.
+	JitterFrac float64
+	Seed       uint64
+	// Telemetry exports grid_fed_member_* counters. nil disables.
+	Telemetry *telemetry.Registry
+	// Logf receives operational log lines. nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c MemberConfig) retryBase() time.Duration {
+	if c.RetryBase <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.RetryBase
+}
+
+func (c MemberConfig) retryCap() time.Duration {
+	if c.RetryCap <= 0 {
+		return 5 * time.Second
+	}
+	return c.RetryCap
+}
+
+func (c MemberConfig) jitterFrac() float64 {
+	if c.JitterFrac == 0 {
+		return 0.2
+	}
+	return c.JitterFrac
+}
+
+// Member is the shard-side half of the federation protocol: it serves the
+// handoff/revoke/ping endpoints in front of a service.Server, runs the
+// rejoin handshake for held recovered jobs, and pushes terminal-state
+// notifications to the router. Create it BEFORE the service so its
+// Terminal method can be wired as service.Config.OnTerminal, then Bind the
+// server and Start.
+type Member struct {
+	cfg MemberConfig
+	svc *service.Server
+	r   *rng.Source // notifier/join goroutines only
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	notices []TerminalNotice
+	closed  bool
+
+	wg sync.WaitGroup
+
+	handoffs, revokes, notifies, joins *telemetry.Counter
+}
+
+// NewMember builds the member. Bind must be called before Handler or
+// Start.
+func NewMember(cfg MemberConfig) *Member {
+	m := &Member{cfg: cfg, r: rng.New(cfg.Seed).Split(fnv1a(cfg.Shard))}
+	m.cond = sync.NewCond(&m.mu)
+	if reg := cfg.Telemetry; reg != nil {
+		l := telemetry.L("shard", cfg.Shard)
+		m.handoffs = reg.Counter("grid_fed_member_handoffs_total", "handoff frames processed by the shard", l)
+		m.revokes = reg.Counter("grid_fed_member_revokes_total", "revoke requests processed by the shard", l)
+		m.notifies = reg.Counter("grid_fed_member_terminal_notices_total", "terminal notices delivered to the router", l)
+		m.joins = reg.Counter("grid_fed_member_joins_total", "join handshakes completed", l)
+	}
+	return m
+}
+
+func (m *Member) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+func (m *Member) client() *http.Client {
+	if m.cfg.Client != nil {
+		return m.cfg.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Bind attaches the service the member fronts.
+func (m *Member) Bind(svc *service.Server) { m.svc = svc }
+
+// Terminal is the service.Config.OnTerminal hook: it enqueues a terminal
+// notice for the router. It runs under the service's lock and returns
+// immediately; delivery happens on the notifier goroutine.
+func (m *Member) Terminal(rec service.Record) {
+	if m.cfg.Router == "" {
+		return
+	}
+	m.mu.Lock()
+	m.notices = append(m.notices, TerminalNotice{
+		Shard: m.cfg.Shard, Job: rec.ID, State: rec.State, Reason: rec.Reason,
+	})
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// Start launches the join handshake and the terminal notifier. Call after
+// Bind (and after service.Restore, so Held is complete).
+func (m *Member) Start() {
+	if m.cfg.Router == "" {
+		return
+	}
+	m.wg.Add(2)
+	go m.joinLoop()
+	go m.notifyLoop()
+}
+
+// Close stops the background loops. In-memory notices not yet delivered
+// are dropped — the join handshake of the next incarnation re-delivers
+// the terminal ledger.
+func (m *Member) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// backoff computes the jittered exponential wait for the given 1-based
+// attempt.
+func (m *Member) backoff(attempt int) time.Duration {
+	base := m.cfg.retryBase() / time.Millisecond
+	cap := m.cfg.retryCap() / time.Millisecond
+	if base < 1 {
+		base = 1
+	}
+	ms := faults.ExpBackoff(simtime.Time(base), attempt, simtime.Time(cap))
+	m.mu.Lock()
+	ms = faults.Jitter(ms, m.cfg.jitterFrac(), m.r)
+	m.mu.Unlock()
+	return time.Duration(ms) * time.Millisecond
+}
+
+// sleep waits d or until Close.
+func (m *Member) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	done := make(chan struct{})
+	go func() {
+		m.mu.Lock()
+		for !m.closed {
+			m.cond.Wait()
+		}
+		m.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-t.C:
+		return !m.isClosed()
+	case <-done:
+		return false
+	}
+}
+
+func (m *Member) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// joinLoop runs the rejoin handshake until one round trip succeeds AND no
+// held jobs remain. Held jobs stay parked (never executed) until the
+// router's decisions dispose of them, so a lost response is safe: the next
+// attempt repeats the same question.
+func (m *Member) joinLoop() {
+	defer m.wg.Done()
+	for attempt := 1; ; attempt++ {
+		if m.isClosed() {
+			return
+		}
+		if err := m.joinOnce(); err != nil {
+			m.logf("federation: join attempt %d: %v", attempt, err)
+			if !m.sleep(m.backoff(attempt)) {
+				return
+			}
+			continue
+		}
+		if m.joins != nil {
+			m.joins.Inc()
+		}
+		if len(m.svc.Held()) == 0 {
+			return
+		}
+		// Decisions missing for some held jobs (or the router asked us to
+		// wait): ask again.
+		if !m.sleep(m.backoff(attempt)) {
+			return
+		}
+	}
+}
+
+// joinOnce sends one join handshake and applies the router's decisions.
+func (m *Member) joinOnce() error {
+	req := JoinRequest{Shard: m.cfg.Shard}
+	for _, id := range m.svc.Held() {
+		rec, ok := m.svc.Job(id)
+		if !ok {
+			continue
+		}
+		req.Held = append(req.Held, JoinJob{ID: id, State: rec.State, Reason: rec.Reason})
+	}
+	for _, rec := range m.svc.Jobs() {
+		if service.Terminal(rec.State) {
+			req.Terminal = append(req.Terminal, JoinJob{ID: rec.ID, State: rec.State, Reason: rec.Reason})
+		}
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	resp, err := m.client().Post(m.cfg.Router+"/v1/federation/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("join: router answered %d", resp.StatusCode)
+	}
+	var jr JoinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return err
+	}
+	if m.cfg.Lease != nil {
+		m.cfg.Lease.Refresh()
+	}
+	var resume []string
+	for id, decision := range jr.Decisions {
+		if decision == JoinResume {
+			resume = append(resume, id)
+			continue
+		}
+		cmd, arg, _ := strings.Cut(decision, "@")
+		if cmd != JoinRevoke {
+			m.logf("federation: join: unknown decision %q for %s", decision, id)
+			continue
+		}
+		// The optional "@N" suffix carries the router's reallocation epoch;
+		// the tombstone keeps it so stale handoff replays stay refused.
+		epoch, _ := strconv.Atoi(arg)
+		if _, err := m.svc.RevokeEpoch(id, "join: ownership moved while shard was down", epoch); err != nil && !errors.Is(err, service.ErrInFlight) {
+			m.logf("federation: join revoke %s: %v", id, err)
+		}
+	}
+	if n := m.svc.ResumeHeld(resume); n > 0 {
+		m.logf("federation: join resumed %d held jobs, %d still parked", n, len(m.svc.Held()))
+	}
+	return nil
+}
+
+// notifyLoop delivers terminal notices in order, retrying with backoff.
+// Delivery is at-least-once; the router's terminal handler is idempotent.
+func (m *Member) notifyLoop() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.notices) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		n := m.notices[0]
+		m.mu.Unlock()
+
+		attempt := 1
+		for {
+			if err := m.deliver(n); err == nil {
+				break
+			} else {
+				m.logf("federation: terminal notice %s attempt %d: %v", n.Job, attempt, err)
+			}
+			if !m.sleep(m.backoff(attempt)) {
+				return
+			}
+			attempt++
+		}
+		if m.notifies != nil {
+			m.notifies.Inc()
+		}
+		m.mu.Lock()
+		m.notices = m.notices[1:]
+		m.mu.Unlock()
+	}
+}
+
+func (m *Member) deliver(n TerminalNotice) error {
+	body, err := json.Marshal(&n)
+	if err != nil {
+		return err
+	}
+	resp, err := m.client().Post(m.cfg.Router+"/v1/federation/terminal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("terminal: router answered %d", resp.StatusCode)
+	}
+	if m.cfg.Lease != nil {
+		m.cfg.Lease.Refresh()
+	}
+	return nil
+}
+
+// PingResponse is the shard's heartbeat answer.
+type PingResponse struct {
+	Shard      string `json:"shard"`
+	Version    int    `json:"version"`
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queueDepth"`
+	Held       int    `json:"held"`
+}
+
+// Handler wraps next (the service's HTTP API) with the federation
+// endpoints:
+//
+//	POST /v1/federation/handoff — framed job handoff (idempotent by key)
+//	POST /v1/federation/revoke  — confirmed revocation / tombstone
+//	GET  /v1/federation/ping    — heartbeat; refreshes the router lease
+func (m *Member) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", next)
+	mux.HandleFunc("POST /v1/federation/handoff", m.handleHandoff)
+	mux.HandleFunc("POST /v1/federation/revoke", m.handleRevoke)
+	mux.HandleFunc("GET /v1/federation/ping", m.handlePing)
+	return mux
+}
+
+func (m *Member) refreshLease() {
+	if m.cfg.Lease != nil {
+		m.cfg.Lease.Refresh()
+	}
+}
+
+func (m *Member) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	m.refreshLease()
+	if m.handoffs != nil {
+		m.handoffs.Inc()
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxFrameBytes+frameHeader+frameTrailer+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, HandoffResult{Code: "bad_frame", Reason: err.Error()})
+		return
+	}
+	h, err := DecodeHandoff(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrBadVersion) {
+			status = http.StatusUpgradeRequired
+		}
+		writeJSON(w, status, HandoffResult{Code: "bad_frame", Reason: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, *ApplyHandoff(m.svc, h))
+}
+
+func (m *Member) handleRevoke(w http.ResponseWriter, r *http.Request) {
+	m.refreshLease()
+	if m.revokes != nil {
+		m.revokes.Inc()
+	}
+	var req RevokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Key == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad revoke request"})
+		return
+	}
+	writeJSON(w, http.StatusOK, *ApplyRevoke(m.svc, &req))
+}
+
+func (m *Member) handlePing(w http.ResponseWriter, r *http.Request) {
+	m.refreshLease()
+	met := m.svc.Metrics()
+	writeJSON(w, http.StatusOK, PingResponse{
+		Shard: m.cfg.Shard, Version: Version,
+		Draining: met.Draining, QueueDepth: met.QueueDepth, Held: met.Held,
+	})
+}
+
+// ApplyHandoff maps one decoded handoff onto a service submission. Shared
+// by the HTTP handler and the in-process LocalShard, so both transports
+// have identical semantics.
+func ApplyHandoff(svc *service.Server, h *Handoff) *HandoffResult {
+	if h.Deadline > 0 && time.Now().UnixMilli() > h.Deadline {
+		// Stale handoff: the router stopped waiting. Refusing (retryably)
+		// instead of accepting keeps "accepted" synonymous with "the
+		// router may learn about it".
+		return &HandoffResult{Key: h.Key, Code: "expired", Reason: "handoff deadline passed", RetryAfter: 1}
+	}
+	rec, err := svc.Submit(h.Job, h.Strategy, h.Priority)
+	if err == nil {
+		return &HandoffResult{Key: h.Key, Accepted: true, State: rec.State}
+	}
+	var se *service.SubmitError
+	if !errors.As(err, &se) {
+		return &HandoffResult{Key: h.Key, Code: service.CodeInternal, Reason: err.Error(), RetryAfter: 1}
+	}
+	if se.Code != service.CodeDuplicate {
+		return handoffError(h.Key, se)
+	}
+	existing, ok := svc.Job(h.Key)
+	if !ok { // cannot happen: duplicate implies a ledger entry
+		return &HandoffResult{Key: h.Key, Code: service.CodeInternal, Reason: "duplicate without ledger entry", RetryAfter: 1}
+	}
+	switch existing.State {
+	case service.StateRevoked, service.StateDrained:
+		// A tombstone: the key was revoked here (or drained away) before
+		// this handoff arrived. A handoff whose epoch outranks the
+		// tombstone's is a deliberate router decision made AFTER the
+		// revocation round that planted it — the job provably runs nowhere
+		// — so the tombstone resurrects into a fresh admission. Anything
+		// else is a stale replay of a revoked binding and is refused: the
+		// job belongs elsewhere now.
+		if h.Epoch > existing.Epoch {
+			rec, rerr := svc.Resurrect(h.Job, h.Strategy, h.Priority, h.Epoch)
+			if rerr == nil {
+				return &HandoffResult{Key: h.Key, Accepted: true, State: rec.State}
+			}
+			if errors.Is(rerr, service.ErrNotRevoked) && rec != nil {
+				// Lost a race with a concurrent resurrection of the same
+				// key: answer for the record as it stands now.
+				return &HandoffResult{
+					Key: h.Key, Duplicate: true, State: rec.State,
+					Accepted: rec.State != service.StateRevoked && rec.State != service.StateDrained,
+					Code:     se.Code,
+				}
+			}
+			return handoffError(h.Key, rerr)
+		}
+		return &HandoffResult{Key: h.Key, Duplicate: true, State: existing.State, Code: se.Code}
+	default:
+		// Duplicate of a live or finished accept — idempotent.
+		return &HandoffResult{Key: h.Key, Duplicate: true, Accepted: true, State: existing.State, Code: se.Code}
+	}
+}
+
+// handoffError maps a submission error onto the wire result. Retryable
+// codes carry a RetryAfter hint; invalid/infeasible are definitive.
+func handoffError(key string, err error) *HandoffResult {
+	var se *service.SubmitError
+	if !errors.As(err, &se) {
+		return &HandoffResult{Key: key, Code: service.CodeInternal, Reason: err.Error(), RetryAfter: 1}
+	}
+	switch se.Code {
+	case service.CodeOverloaded, service.CodeDraining, service.CodeInternal:
+		retry := int(se.RetryAfter / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		return &HandoffResult{Key: key, Code: se.Code, Reason: se.Reason, RetryAfter: retry}
+	default: // invalid, infeasible — definitive
+		return &HandoffResult{Key: key, Code: se.Code, Reason: se.Reason}
+	}
+}
+
+// ApplyRevoke maps a revocation onto the service, returning the confirmed
+// outcome. Shared by the HTTP handler and LocalShard.
+func ApplyRevoke(svc *service.Server, req *RevokeRequest) *RevokeResult {
+	rec, err := svc.RevokeEpoch(req.Key, fmt.Sprintf("revoked by %s: %s", req.Origin, req.Reason), req.Epoch)
+	if errors.Is(err, service.ErrInFlight) {
+		return &RevokeResult{Key: req.Key, Outcome: RevokeOutcomeInFlight, State: rec.State}
+	}
+	if err != nil {
+		return &RevokeResult{Key: req.Key, Outcome: RevokeOutcomeInFlight, State: rec.State, Reason: err.Error()}
+	}
+	if rec.State == service.StateRevoked {
+		return &RevokeResult{Key: req.Key, Outcome: RevokeOutcomeRevoked, State: rec.State, Reason: rec.Reason}
+	}
+	return &RevokeResult{Key: req.Key, Outcome: RevokeOutcomeTerminal, State: rec.State, Reason: rec.Reason}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

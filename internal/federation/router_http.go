@@ -1,0 +1,142 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/jobio"
+	"repro/internal/service"
+)
+
+// SubmitRequest mirrors the service wire shape, so clients (and gridload)
+// talk to a router exactly as they talk to a single gridd.
+type SubmitRequest struct {
+	jobio.Job
+	Strategy string `json:"strategy,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
+type errorBody struct {
+	Error  string `json:"error"`
+	Code   string `json:"code,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Handler returns the router's HTTP API — the client-facing subset is
+// shape-compatible with a shard's:
+//
+//	POST /v1/jobs                — submit (202, or the service error codes)
+//	GET  /v1/jobs                — router ledger
+//	GET  /v1/jobs/{id}           — one ledger entry
+//	GET  /v1/metrics             — router counters (JSON)
+//	GET  /metrics                — Prometheus text format
+//	GET  /healthz                — liveness + per-shard health
+//	GET  /readyz                 — 503 while draining
+//	POST /v1/federation/join     — shard rejoin handshake
+//	POST /v1/federation/terminal — shard terminal notice
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		view, ok := r.Job(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job", Reason: id})
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, r.Metrics())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if r.cfg.Telemetry == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.cfg.Telemetry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "metrics": r.Metrics()})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if r.Metrics().Draining {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	mux.HandleFunc("POST /v1/federation/join", r.handleJoin)
+	mux.HandleFunc("POST /v1/federation/terminal", r.handleTerminal)
+	return mux
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr SubmitRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request", Code: service.CodeInvalid, Reason: err.Error()})
+		return
+	}
+	view, err := r.Submit(sr.Job, sr.Strategy, sr.Priority)
+	if err != nil {
+		var se *service.SubmitError
+		if !errors.As(err, &se) {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		status := http.StatusBadRequest
+		switch se.Code {
+		case service.CodeDuplicate:
+			status = http.StatusConflict
+		case service.CodeInfeasible:
+			status = http.StatusUnprocessableEntity
+		case service.CodeOverloaded:
+			status = http.StatusTooManyRequests
+		case service.CodeDraining:
+			status = http.StatusServiceUnavailable
+		case service.CodeInternal:
+			status = http.StatusInternalServerError
+		}
+		if se.RetryAfter > 0 {
+			secs := int((se.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeJSON(w, status, errorBody{Error: "rejected", Code: se.Code, Reason: se.Reason})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (r *Router) handleJoin(w http.ResponseWriter, req *http.Request) {
+	var jr JoinRequest
+	if err := json.NewDecoder(req.Body).Decode(&jr); err != nil || jr.Shard == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad join request"})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.HandleJoin(&jr))
+}
+
+func (r *Router) handleTerminal(w http.ResponseWriter, req *http.Request) {
+	var n TerminalNotice
+	if err := json.NewDecoder(req.Body).Decode(&n); err != nil || n.Job == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad terminal notice"})
+		return
+	}
+	// The journal append inside happens before this 200: acknowledging an
+	// unpersisted terminal would let a router crash lose the only copy.
+	r.HandleTerminal(&n)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

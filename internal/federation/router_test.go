@@ -1,0 +1,516 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/metasched"
+	"repro/internal/resource"
+	"repro/internal/service"
+)
+
+// testEnv builds the usual two-domain, four-tier environment.
+func testEnv() *resource.Environment {
+	perfs := []float64{1.0, 0.5, 0.33, 0.27}
+	var nodes []*resource.Node
+	id := 0
+	for d := 0; d < 2; d++ {
+		for _, p := range perfs {
+			nodes = append(nodes, resource.NewNode(resource.NodeID(id),
+				fmt.Sprintf("n%d", id), p, p, fmt.Sprintf("dom-%d", d)))
+			id++
+		}
+	}
+	return resource.NewEnvironment(nodes)
+}
+
+// fedShard is one in-process shard: an auto-mode service whose terminal
+// stream feeds the router directly, standing in for the HTTP member.
+type fedShard struct {
+	name  string
+	svc   *service.Server
+	local *LocalShard
+}
+
+// newFedShards builds n shards whose OnTerminal hooks deliver to the
+// router bound later via bind().
+func newFedShards(t *testing.T, n int, rt **Router) []*fedShard {
+	t.Helper()
+	shards := make([]*fedShard, n)
+	for i := range shards {
+		name := fmt.Sprintf("s%d", i)
+		svc, err := service.New(service.Config{
+			Env:   testEnv(),
+			Sched: metasched.Config{Seed: uint64(i) + 1},
+			OnTerminal: func(rec service.Record) {
+				if r := *rt; r != nil {
+					go r.HandleTerminal(&TerminalNotice{Shard: name, Job: rec.ID, State: rec.State, Reason: rec.Reason})
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = &fedShard{name: name, svc: svc, local: NewLocalShard(name, svc)}
+	}
+	return shards
+}
+
+func waitQuiesced(t *testing.T, r *Router, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for !r.Quiesced() {
+		if time.Now().After(deadline) {
+			for _, j := range r.Jobs() {
+				if !routerTerminal(j.State) {
+					t.Logf("stuck: %+v", j)
+				}
+			}
+			t.Fatal("router never quiesced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAsyncDispatchAcrossShards pushes jobs through a three-shard fleet
+// and checks every job completes on exactly the shard the ring owns it to.
+func TestAsyncDispatchAcrossShards(t *testing.T) {
+	var rt *Router
+	shards := newFedShards(t, 3, &rt)
+	var clients []ShardClient
+	for _, s := range shards {
+		clients = append(clients, s.local)
+		s.svc.Start()
+	}
+	r, err := New(Config{Shards: clients, Seed: 7, HeartbeatInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+	r.Start()
+	defer r.Close()
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		if _, err := r.Submit(testJob(fmt.Sprintf("job-%d", i), 60), "S1", 0); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitQuiesced(t, r, 10*time.Second)
+
+	ring, _ := NewRing([]string{"s0", "s1", "s2"}, 0)
+	completed := 0
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		view, ok := r.Job(id)
+		if !ok || view.State != service.StateCompleted {
+			t.Fatalf("job %s = %+v, want completed", id, view)
+		}
+		if view.Shard != ring.Owner(id) {
+			t.Errorf("job %s ran on %s, ring owner %s", id, view.Shard, ring.Owner(id))
+		}
+		// Exactly one shard's ledger has the job.
+		holders := 0
+		for _, s := range shards {
+			if _, ok := s.svc.Job(id); ok {
+				holders++
+			}
+		}
+		if holders != 1 {
+			t.Errorf("job %s is on %d shards", id, holders)
+		}
+		completed++
+	}
+	if m := r.Metrics(); m.Completed != uint64(completed) || m.Reallocated != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	for _, s := range shards {
+		_ = s.svc.Drain(context.Background())
+	}
+}
+
+// flakyShard scripts transport failures: handoffs fail while broken, but
+// revokes answer from the (empty) ledger — the "shard unreachable for
+// placement" case.
+type flakyShard struct {
+	*LocalShard
+	mu     sync.Mutex
+	broken bool
+	tried  int
+}
+
+func (f *flakyShard) setBroken(b bool) {
+	f.mu.Lock()
+	f.broken = b
+	f.mu.Unlock()
+}
+
+func (f *flakyShard) Handoff(ctx context.Context, h *Handoff) (*HandoffResult, error) {
+	f.mu.Lock()
+	f.tried++
+	broken := f.broken
+	f.mu.Unlock()
+	if broken {
+		return nil, fmt.Errorf("flaky: connection refused")
+	}
+	return f.LocalShard.Handoff(ctx, h)
+}
+
+func (f *flakyShard) Ping(ctx context.Context) (*PingResponse, error) {
+	f.mu.Lock()
+	broken := f.broken
+	f.mu.Unlock()
+	if broken {
+		return nil, fmt.Errorf("flaky: connection refused")
+	}
+	return f.LocalShard.Ping(ctx)
+}
+
+// TestRetryExhaustionReallocatesThroughRevoke pins the last rung of the
+// recovery ladder: a shard that fails every handoff attempt loses the job
+// — but only AFTER a confirmed revoke planted a tombstone there — and a
+// survivor runs it.
+func TestRetryExhaustionReallocatesThroughRevoke(t *testing.T) {
+	var rt *Router
+	shards := newFedShards(t, 2, &rt)
+	for _, s := range shards {
+		s.svc.Start()
+	}
+	flaky := &flakyShard{LocalShard: shards[0].local}
+	flaky.setBroken(true)
+	r, err := New(Config{
+		Shards:            []ShardClient{flaky, shards[1].local},
+		Seed:              11,
+		RetryBudget:       2,
+		RetryBase:         5 * time.Millisecond,
+		HeartbeatInterval: time.Hour, // isolate: no death sweep in this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+	r.Start()
+	defer r.Close()
+
+	// Find an ID the ring assigns to the flaky shard s0.
+	ring, _ := NewRing([]string{"s0", "s1"}, 0)
+	id := ""
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("job-%d", i)
+		if ring.Owner(cand) == "s0" {
+			id = cand
+			break
+		}
+	}
+	if _, err := r.Submit(testJob(id, 60), "S1", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Handoffs to s0 fail; revoke still answers (the shard process is up,
+	// only the handoff path is severed) and plants a tombstone.
+	waitQuiesced(t, r, 10*time.Second)
+
+	view, _ := r.Job(id)
+	if view.State != service.StateCompleted || view.Shard != "s1" {
+		t.Fatalf("job = %+v, want completed on s1", view)
+	}
+	// The tombstone is durable at s0: a late handoff replay is refused.
+	flaky.setBroken(false)
+	res, err := flaky.Handoff(context.Background(), &Handoff{Key: id, Origin: "test", Job: testJob(id, 60), Strategy: "S1"})
+	if err != nil || res.Accepted || !res.Duplicate || res.State != service.StateRevoked {
+		t.Fatalf("late replay after tombstone = (%+v, %v)", res, err)
+	}
+	if m := r.Metrics(); m.Reallocated != 1 || m.Revocations != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if got, _ := shards[1].svc.Job(id); got.State != service.StateCompleted {
+		t.Fatalf("s1 ledger = %+v", got)
+	}
+}
+
+// TestDeadShardSweep pins heartbeat death detection: a shard that stops
+// answering pings gets its bound jobs revoked and reallocated, and the
+// survivors keep admitting within one heartbeat timeout.
+func TestDeadShardSweep(t *testing.T) {
+	var rt *Router
+	shards := newFedShards(t, 2, &rt)
+	for _, s := range shards {
+		s.svc.Start()
+	}
+	flaky := &flakyShard{LocalShard: shards[0].local}
+	gate := make(chan struct{})
+	// s0 accepts handoffs but its engine is stalled behind the service
+	// gate, so accepted jobs sit queued (revocable) when it "dies".
+	stalled, err := service.New(service.Config{
+		Env: testEnv(), Sched: metasched.Config{Seed: 9},
+		Gate: func() bool {
+			select { // closed until gate closes
+			case <-gate:
+				return false
+			default:
+				return false
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled.Start()
+	flaky.LocalShard = NewLocalShard("s0", stalled)
+
+	r, err := New(Config{
+		Shards:            []ShardClient{flaky, shards[1].local},
+		Seed:              13,
+		HeartbeatInterval: 20 * time.Millisecond,
+		DeadAfter:         3,
+		RetryBase:         5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+	r.Start()
+	defer r.Close()
+
+	ring, _ := NewRing([]string{"s0", "s1"}, 0)
+	var s0jobs, s1jobs []string
+	for i := 0; len(s0jobs) < 3 || len(s1jobs) < 3; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if ring.Owner(id) == "s0" {
+			s0jobs = append(s0jobs, id)
+		} else {
+			s1jobs = append(s1jobs, id)
+		}
+		if _, err := r.Submit(testJob(id, 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give dispatch a moment to bind s0's jobs, then kill its network.
+	time.Sleep(100 * time.Millisecond)
+	flaky.setBroken(true)
+
+	// Death after 3 missed beats; revokes then fail too (broken), so jobs
+	// stay safely in revoking until the shard "restarts".
+	time.Sleep(150 * time.Millisecond)
+	if m := r.Metrics(); !m.Shards["s0"].Alive {
+		// expected
+	} else {
+		t.Fatalf("s0 still alive after missed heartbeats: %+v", m.Shards)
+	}
+	// Survivor keeps serving while s0 is dead.
+	extra := "extra-s1"
+	for i := 0; ; i++ {
+		cand := fmt.Sprintf("extra-%d", i)
+		if ring.Owner(cand) == "s1" {
+			extra = cand
+			break
+		}
+	}
+	if _, err := r.Submit(testJob(extra, 60), "S1", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard restarts: network back, ledger intact, engine still stalled —
+	// revokes now confirm and the jobs move to s1.
+	flaky.setBroken(false)
+	waitQuiesced(t, r, 15*time.Second)
+
+	for _, id := range append(append([]string{}, s0jobs...), extra) {
+		view, _ := r.Job(id)
+		if view.State != service.StateCompleted || view.Shard != "s1" {
+			t.Fatalf("job %s = %+v, want completed on s1", id, view)
+		}
+		// s0 must hold a revoked entry or nothing — never an execution.
+		if rec, ok := stalled.Job(id); ok && rec.State != service.StateRevoked {
+			t.Fatalf("s0 ledger for %s = %q", id, rec.State)
+		}
+	}
+	if m := r.Metrics(); m.ShardDeaths != 1 {
+		t.Fatalf("ShardDeaths = %d, want 1", m.ShardDeaths)
+	}
+}
+
+// TestRouterJournalRecovery SIGKILL-simulates the router: a journaled
+// binding survives, reconciles against the shard ledger, and in-doubt
+// jobs resolve through revocation — never by double placement.
+func TestRouterJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	openJournal := func() (*journal.Journal, *journal.Recovery) {
+		j, rec, err := journal.Open(journal.Options{Dir: dir, Fsync: journal.FsyncNever, IsTerminal: service.Terminal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, rec
+	}
+
+	var rt *Router
+	shards := newFedShards(t, 2, &rt)
+	for _, s := range shards {
+		s.svc.Start()
+	}
+	clients := []ShardClient{shards[0].local, shards[1].local}
+
+	j1, _ := openJournal()
+	r1, err := New(Config{Shards: clients, Seed: 3, Journal: j1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r1
+	r1.Start()
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := r1.Submit(testJob(fmt.Sprintf("job-%d", i), 60), "S1", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitQuiesced(t, r1, 10*time.Second)
+	// Submit one more and "crash" immediately: the accept is journaled
+	// queued, dispatch may or may not have started.
+	if _, err := r1.Submit(testJob("in-doubt", 60), "S1", 0); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close() // SIGKILL stand-in: no drain, no terminal wait
+	j1.Close()
+
+	j2, recovered := openJournal()
+	defer j2.Close()
+	r2, err := New(Config{Shards: clients, Seed: 3, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r2
+	restored, err := r2.Restore(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != n+1 {
+		t.Fatalf("restored %d records, want %d", restored, n+1)
+	}
+	r2.Start()
+	defer r2.Close()
+	waitQuiesced(t, r2, 10*time.Second)
+
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		view, ok := r2.Job(id)
+		if !ok || view.State != service.StateCompleted {
+			t.Fatalf("job %s after recovery = %+v", id, view)
+		}
+	}
+	view, _ := r2.Job("in-doubt")
+	if view.State != service.StateCompleted {
+		t.Fatalf("in-doubt job = %+v, want completed", view)
+	}
+	// Exactly-once: the in-doubt job exists on exactly one shard as a
+	// non-revoked record.
+	executions := 0
+	for _, s := range shards {
+		if rec, ok := s.svc.Job("in-doubt"); ok && rec.State == service.StateCompleted {
+			executions++
+		}
+	}
+	if executions != 1 {
+		t.Fatalf("in-doubt job executed on %d shards", executions)
+	}
+}
+
+// TestJoinHandshakeDecisions pins the router's rulings over a rejoining
+// shard's held jobs.
+func TestJoinHandshakeDecisions(t *testing.T) {
+	var rt *Router
+	shards := newFedShards(t, 2, &rt)
+	r, err := New(Config{Shards: []ShardClient{shards[0].local, shards[1].local}, Seed: 5, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+
+	// Seed the ledger by hand with the interesting states.
+	r.mu.Lock()
+	owned := r.newRecordLocked("owned", "S1", 0, StateHanded)
+	owned.Shard = "s0"
+	moved := r.newRecordLocked("moved", "S1", 0, StateHanded)
+	moved.Shard = "s1"
+	done := r.newRecordLocked("done", "S1", 0, service.StateCompleted)
+	done.Shard = "s0"
+	queued := r.newRecordLocked("intent", "S1", 0, StateQueued)
+	_ = queued
+	r.mu.Unlock()
+
+	resp := r.HandleJoin(&JoinRequest{Shard: "s0", Held: []JoinJob{
+		{ID: "owned", State: service.StateQueued},
+		{ID: "moved", State: service.StateQueued},
+		{ID: "done", State: service.StateQueued},
+		{ID: "intent", State: service.StateQueued},
+		{ID: "stranger", State: service.StateQueued},
+	}})
+	want := map[string]string{
+		"owned":    JoinResume,        // still bound here
+		"moved":    JoinRevoke + "@0", // bound to s1 meanwhile; epoch rides along
+		"done":     JoinRevoke + "@0", // already terminal
+		"intent":   JoinResume,        // router queued, shard already holds: adopt
+		"stranger": JoinResume,        // unknown: adopt rather than orphan
+	}
+	for id, decision := range want {
+		if resp.Decisions[id] != decision {
+			t.Errorf("decision[%s] = %q, want %q", id, resp.Decisions[id], decision)
+		}
+	}
+	// The adoption is ledgered.
+	if view, ok := r.Job("stranger"); !ok || view.State != StateHanded || view.Shard != "s0" {
+		t.Errorf("adopted stranger = %+v", view)
+	}
+	if view, _ := r.Job("intent"); view.State != StateHanded || view.Shard != "s0" {
+		t.Errorf("adopted intent = %+v", view)
+	}
+}
+
+// TestTerminalNoticeIdempotentAndDrainedReallocates covers the notice
+// handler's edge cases.
+func TestTerminalNoticeEdgeCases(t *testing.T) {
+	var rt *Router
+	shards := newFedShards(t, 2, &rt)
+	r, err := New(Config{Shards: []ShardClient{shards[0].local, shards[1].local}, Seed: 5, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt = r
+
+	r.mu.Lock()
+	a := r.newRecordLocked("a", "S1", 0, StateHanded)
+	a.Shard = "s0"
+	b := r.newRecordLocked("b", "S1", 0, StateHanded)
+	b.Shard = "s0"
+	r.mu.Unlock()
+
+	// Unknown job: ignored.
+	r.HandleTerminal(&TerminalNotice{Shard: "s0", Job: "ghost", State: service.StateCompleted})
+	// Revoked is shard-terminal, not job-terminal.
+	r.HandleTerminal(&TerminalNotice{Shard: "s0", Job: "a", State: service.StateRevoked})
+	if view, _ := r.Job("a"); view.State != StateHanded {
+		t.Fatalf("revoked notice moved a to %q", view.State)
+	}
+	// Completed lands once; the repeat is a no-op.
+	r.HandleTerminal(&TerminalNotice{Shard: "s0", Job: "a", State: service.StateCompleted, Reason: "ok"})
+	r.HandleTerminal(&TerminalNotice{Shard: "s0", Job: "a", State: service.StateRejected, Reason: "late duplicate"})
+	if view, _ := r.Job("a"); view.State != service.StateCompleted || view.Reason != "ok" {
+		t.Fatalf("a = %+v", view)
+	}
+	if m := r.Metrics(); m.Completed != 1 {
+		t.Fatalf("Completed = %d after duplicate notices", m.Completed)
+	}
+	// Drained releases ownership: the job requeues, banned from s0.
+	r.HandleTerminal(&TerminalNotice{Shard: "s0", Job: "b", State: service.StateDrained})
+	if view, _ := r.Job("b"); view.State != StateQueued || view.Shard != "" {
+		t.Fatalf("b after drained notice = %+v", view)
+	}
+	r.mu.Lock()
+	banned := r.records["b"].banned["s0"]
+	r.mu.Unlock()
+	if !banned {
+		t.Fatal("drained shard not banned for b")
+	}
+}

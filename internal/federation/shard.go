@@ -1,0 +1,205 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// ShardClient is the router's view of one metascheduler shard. Two
+// implementations exist: HTTPShard speaks the wire protocol to a remote
+// gridd process, and LocalShard drives an in-process service.Server — the
+// single-shard differential suite uses the latter so shards=1 federation
+// is byte-comparable to a plain server.
+type ShardClient interface {
+	// Name is the shard's ring name.
+	Name() string
+	// Handoff delivers one framed job handoff and returns the shard's
+	// durable answer. A transport error means "unknown outcome": the shard
+	// may or may not have accepted — exactly the case idempotency keys and
+	// confirmed revocation exist for.
+	Handoff(ctx context.Context, h *Handoff) (*HandoffResult, error)
+	// Revoke asks the shard to give a job back; see the RevokeOutcome
+	// constants for the three confirmed answers.
+	Revoke(ctx context.Context, req *RevokeRequest) (*RevokeResult, error)
+	// Record fetches the shard's ledger entry for a job; ok=false means
+	// the shard has never durably seen it.
+	Record(ctx context.Context, id string) (service.Record, bool, error)
+	// Ping is the heartbeat probe.
+	Ping(ctx context.Context) (*PingResponse, error)
+}
+
+// LocalShard adapts an in-process service.Server to ShardClient. The
+// handoff still round-trips through the wire codec so local and remote
+// shards exercise identical encode/validate/decode paths.
+type LocalShard struct {
+	name string
+	svc  *service.Server
+}
+
+// NewLocalShard wraps svc as the named shard.
+func NewLocalShard(name string, svc *service.Server) *LocalShard {
+	return &LocalShard{name: name, svc: svc}
+}
+
+// Name implements ShardClient.
+func (l *LocalShard) Name() string { return l.name }
+
+// Service returns the wrapped server.
+func (l *LocalShard) Service() *service.Server { return l.svc }
+
+// Handoff implements ShardClient via the shared ApplyHandoff semantics,
+// after a codec round trip.
+func (l *LocalShard) Handoff(ctx context.Context, h *Handoff) (*HandoffResult, error) {
+	frame, err := EncodeHandoff(h)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := DecodeHandoff(frame)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyHandoff(l.svc, decoded), nil
+}
+
+// Revoke implements ShardClient.
+func (l *LocalShard) Revoke(ctx context.Context, req *RevokeRequest) (*RevokeResult, error) {
+	return ApplyRevoke(l.svc, req), nil
+}
+
+// Record implements ShardClient.
+func (l *LocalShard) Record(ctx context.Context, id string) (service.Record, bool, error) {
+	rec, ok := l.svc.Job(id)
+	return rec, ok, nil
+}
+
+// Ping implements ShardClient.
+func (l *LocalShard) Ping(ctx context.Context) (*PingResponse, error) {
+	met := l.svc.Metrics()
+	return &PingResponse{
+		Shard: l.name, Version: Version,
+		Draining: met.Draining, QueueDepth: met.QueueDepth, Held: met.Held,
+	}, nil
+}
+
+// HTTPShard talks the wire protocol to a remote shard.
+type HTTPShard struct {
+	name   string
+	base   string // e.g. http://127.0.0.1:8081
+	client *http.Client
+}
+
+// NewHTTPShard builds a client for the shard at base. client nil uses
+// http.DefaultClient; the router injects fault transports here in the
+// chaos harness.
+func NewHTTPShard(name, base string, client *http.Client) *HTTPShard {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPShard{name: name, base: base, client: client}
+}
+
+// Name implements ShardClient.
+func (s *HTTPShard) Name() string { return s.name }
+
+// Handoff implements ShardClient. Any HTTP status still carrying a
+// decodable HandoffResult is a durable shard answer, not a transport
+// error.
+func (s *HTTPShard) Handoff(ctx context.Context, h *Handoff) (*HandoffResult, error) {
+	frame, err := EncodeHandoff(h)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/federation/handoff", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var res HandoffResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		return nil, fmt.Errorf("federation: shard %s handoff answered %d with undecodable body: %w", s.name, resp.StatusCode, err)
+	}
+	return &res, nil
+}
+
+// Revoke implements ShardClient.
+func (s *HTTPShard) Revoke(ctx context.Context, rreq *RevokeRequest) (*RevokeResult, error) {
+	body, err := json.Marshal(rreq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/v1/federation/revoke", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federation: shard %s revoke answered %d", s.name, resp.StatusCode)
+	}
+	var res RevokeResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Record implements ShardClient: GET /v1/jobs/{id}; 404 means unknown.
+func (s *HTTPShard) Record(ctx context.Context, id string) (service.Record, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return service.Record{}, false, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return service.Record{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return service.Record{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return service.Record{}, false, fmt.Errorf("federation: shard %s record answered %d", s.name, resp.StatusCode)
+	}
+	var rec service.Record
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rec); err != nil {
+		return service.Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// Ping implements ShardClient.
+func (s *HTTPShard) Ping(ctx context.Context) (*PingResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/federation/ping", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federation: shard %s ping answered %d", s.name, resp.StatusCode)
+	}
+	var pr PingResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&pr); err != nil {
+		return nil, err
+	}
+	return &pr, nil
+}

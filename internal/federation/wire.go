@@ -1,0 +1,223 @@
+// Package federation splits the paper's job flow across N metascheduler
+// shards behind a thin front tier: a consistent-hash router (cmd/gridfront)
+// partitions jobs across gridd shards over a small versioned HTTP wire
+// protocol — idempotency-keyed handoffs, confirmed revocations and
+// terminal-state notifications — with heartbeat-based shard failure
+// detection feeding per-shard circuit breakers and a final recovery-ladder
+// rung that reallocates a dead or exhausted shard's jobs to survivors.
+// Handoffs are journaled on both sides (internal/journal), so a SIGKILL'd
+// shard or router recovers in-flight handoffs exactly once through the
+// existing duplicate guard. DESIGN.md §13 states the failure model and the
+// exactly-once argument.
+package federation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/jobio"
+)
+
+// Frame layout: magic "GFED" | 1-byte version | uint32 BE payload length |
+// JSON payload | uint32 BE CRC32 (IEEE) of the payload. The CRC catches
+// truncation and corruption before JSON ever runs; the version byte gates
+// compatibility explicitly instead of by JSON-shape accident.
+const (
+	// Version is the wire protocol version this build speaks.
+	Version = 1
+
+	frameMagic    = "GFED"
+	frameHeader   = 4 + 1 + 4 // magic + version + length
+	frameTrailer  = 4         // crc
+	maxFrameBytes = 16 << 20  // refuse absurd lengths before allocating
+)
+
+// The codec's typed errors, distinguishable by errors.Is.
+var (
+	ErrTruncated    = errors.New("federation: truncated frame")
+	ErrBadMagic     = errors.New("federation: bad frame magic")
+	ErrBadVersion   = errors.New("federation: unsupported protocol version")
+	ErrBadCRC       = errors.New("federation: frame crc mismatch")
+	ErrFrameTooBig  = errors.New("federation: frame exceeds size limit")
+	ErrDuplicateKey = errors.New("federation: duplicate idempotency key in batch")
+)
+
+// Handoff is one job handoff (or cross-shard reallocation) from the router
+// to a shard. Key is the idempotency key: retries, duplicated frames and
+// re-sent batches all carry the same Key, and the shard's durable ledger
+// collapses them into at most one accepted job.
+type Handoff struct {
+	// Key is the idempotency key — the job's globally unique name.
+	Key string `json:"key"`
+	// Origin names the router making the handoff.
+	Origin string `json:"origin"`
+	// Attempt counts delivery attempts for this binding, 1-based.
+	Attempt int `json:"attempt,omitempty"`
+	// Deadline, when non-zero, is the wall-clock instant (Unix
+	// milliseconds) after which the router no longer wants an answer; a
+	// shard drops expired handoffs instead of doing stale work.
+	Deadline int64 `json:"deadlineUnixMilli,omitempty"`
+	// Job is the full wire form of the job.
+	Job jobio.Job `json:"job"`
+	// Strategy and Priority carry the service-level submission fields.
+	Strategy string `json:"strategy,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	// Realloc marks a cross-shard reallocation (the job was revoked from
+	// FromShard after its owner died or exhausted its retry budget) as
+	// opposed to a first placement.
+	Realloc   bool   `json:"realloc,omitempty"`
+	FromShard string `json:"fromShard,omitempty"`
+	// Epoch is the router's reallocation round for this job: 0 for the
+	// first binding, +1 after every confirmed revocation. A shard holding
+	// a revoked tombstone for Key refuses handoffs whose Epoch is at or
+	// below the tombstone's (stale replays of a revoked binding) but
+	// resurrects the tombstone for a higher Epoch — the router only mints
+	// one after confirming the job runs nowhere.
+	Epoch int `json:"epoch,omitempty"`
+}
+
+// Validate checks the semantic invariants a decoded handoff must satisfy.
+func (h *Handoff) Validate() error {
+	if h.Key == "" {
+		return fmt.Errorf("federation: handoff has empty idempotency key")
+	}
+	if h.Job.Name != h.Key {
+		return fmt.Errorf("federation: handoff key %q does not match job name %q", h.Key, h.Job.Name)
+	}
+	return h.Job.Validate()
+}
+
+// HandoffResult is the shard's answer, returned as plain JSON in the HTTP
+// response body.
+type HandoffResult struct {
+	Key string `json:"key"`
+	// Accepted means the shard now durably owns the job (a fresh accept,
+	// or a duplicate of an earlier accept — idempotent either way).
+	Accepted bool `json:"accepted"`
+	// Duplicate is set when the key was already in the shard's ledger;
+	// State then reports the existing record's state. A duplicate in state
+	// "revoked" is a tombstone: the router revoked this key here earlier,
+	// so the job must NOT be considered accepted.
+	Duplicate bool   `json:"duplicate,omitempty"`
+	State     string `json:"state,omitempty"`
+	// Code and Reason mirror service.SubmitError on a definitive or
+	// retryable rejection.
+	Code       string `json:"code,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	RetryAfter int    `json:"retryAfterSeconds,omitempty"`
+}
+
+// RevokeRequest asks a shard to give a job back (or never accept it).
+type RevokeRequest struct {
+	Key    string `json:"key"`
+	Origin string `json:"origin"`
+	Reason string `json:"reason,omitempty"`
+	// Epoch is the reallocation round being revoked; the shard stamps it
+	// into the tombstone (see Handoff.Epoch).
+	Epoch int `json:"epoch,omitempty"`
+}
+
+// Revoke outcomes.
+const (
+	// RevokeOutcomeRevoked — the shard will never execute the job: it was
+	// still queued (now revoked), held from recovery (now revoked), or
+	// never seen (a tombstone was planted under the key).
+	RevokeOutcomeRevoked = "revoked"
+	// RevokeOutcomeInFlight — the shard's engine already owns the job; it
+	// will reach a terminal state here and cannot be taken back.
+	RevokeOutcomeInFlight = "inflight"
+	// RevokeOutcomeTerminal — the job already finished here; State/Reason
+	// carry the result.
+	RevokeOutcomeTerminal = "terminal"
+)
+
+// RevokeResult is the shard's confirmed answer to a revocation.
+type RevokeResult struct {
+	Key     string `json:"key"`
+	Outcome string `json:"outcome"` // revoked | inflight | terminal
+	State   string `json:"state,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// JoinJob is one ledger entry in a shard's join handshake.
+type JoinJob struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// JoinRequest is the rejoin handshake a shard sends its router on startup:
+// Held lists recovered non-terminal jobs parked until the router rules on
+// each; Terminal is the catch-up ledger of results whose notifications may
+// have been lost while the shard was down.
+type JoinRequest struct {
+	Shard    string    `json:"shard"`
+	Held     []JoinJob `json:"held,omitempty"`
+	Terminal []JoinJob `json:"terminal,omitempty"`
+}
+
+// Join decisions.
+const (
+	JoinResume = "resume" // the shard still owns the job: requeue it
+	// JoinRevoke — ownership moved while the shard was down: drop it. The
+	// router appends "@N" with its reallocation epoch so the resulting
+	// tombstone refuses stale handoff replays (see Handoff.Epoch).
+	JoinRevoke = "revoke"
+)
+
+// JoinResponse maps each held job ID to a decision. The response is advice
+// the shard acts on; the router only treats a job as reclaimed once a
+// confirmed Revoke round-trip (or this shard's own revoked ledger entry)
+// proves the shard will not run it.
+type JoinResponse struct {
+	Decisions map[string]string `json:"decisions"`
+}
+
+// TerminalNotice tells the router a job reached a terminal state on a
+// shard. Idempotent: the router ignores repeats and stale mismatches.
+type TerminalNotice struct {
+	Shard  string `json:"shard"`
+	Job    string `json:"job"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// appendFrame frames one JSON payload.
+func appendFrame(dst, payload []byte) []byte {
+	dst = append(dst, frameMagic...)
+	dst = append(dst, byte(Version))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// readFrame parses one frame at the head of b, returning the payload and
+// the remaining bytes.
+func readFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < frameHeader {
+		return nil, nil, ErrTruncated
+	}
+	if string(b[:4]) != frameMagic {
+		return nil, nil, ErrBadMagic
+	}
+	if v := b[4]; v != Version {
+		return nil, nil, fmt.Errorf("%w: got %d, speak %d", ErrBadVersion, v, Version)
+	}
+	n := binary.BigEndian.Uint32(b[5:9])
+	if n > maxFrameBytes {
+		return nil, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	total := frameHeader + int(n) + frameTrailer
+	if len(b) < total {
+		return nil, nil, ErrTruncated
+	}
+	payload = b[frameHeader : frameHeader+int(n)]
+	want := binary.BigEndian.Uint32(b[frameHeader+int(n):])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, nil, fmt.Errorf("%w: frame says %08x, content is %08x", ErrBadCRC, want, got)
+	}
+	return payload, b[total:], nil
+}

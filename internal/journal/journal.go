@@ -140,6 +140,15 @@ type Record struct {
 	Strategy string     `json:"strategy,omitempty"`
 	Priority int        `json:"priority,omitempty"`
 	Wire     *jobio.Job `json:"wire,omitempty"`
+	// Shard names the metascheduler shard a federated router has bound the
+	// job to ("" outside federation). It tracks the newest record that sets
+	// it, so recovery knows which shard may still own an in-doubt handoff.
+	Shard string `json:"shard,omitempty"`
+	// Epoch is a federated router's reallocation round for the job (0
+	// outside federation). It rises by one each time a confirmed
+	// revocation voids a binding, and persisting it keeps re-handoffs
+	// monotonically above every tombstone the job left behind.
+	Epoch int `json:"epoch,omitempty"`
 }
 
 // JobState is the folded, latest-record-wins view of one job, as stored in
@@ -151,6 +160,8 @@ type JobState struct {
 	Strategy string     `json:"strategy,omitempty"`
 	Priority int        `json:"priority,omitempty"`
 	Wire     *jobio.Job `json:"wire,omitempty"`
+	Shard    string     `json:"shard,omitempty"`
+	Epoch    int        `json:"epoch,omitempty"`
 	FirstLSN uint64     `json:"firstLSN"`
 	LastLSN  uint64     `json:"lastLSN"`
 }
@@ -552,5 +563,11 @@ func foldRecord(state map[string]*JobState, order *[]string, rec *Record) {
 	}
 	if rec.Wire != nil {
 		js.Wire = rec.Wire
+	}
+	if rec.Shard != "" {
+		js.Shard = rec.Shard
+	}
+	if rec.Epoch != 0 {
+		js.Epoch = rec.Epoch
 	}
 }

@@ -59,11 +59,18 @@ const (
 	StateCompleted = "completed"
 	StateRejected  = "rejected"
 	StateDrained   = "drained"
+	// StateRevoked is terminal at THIS shard only: a federated router took
+	// the job back (still queued, or tombstoned before arrival) to run it
+	// elsewhere. The ledger entry persists so the job's idempotency key is
+	// refused as a duplicate forever — the guarantee the cross-shard
+	// exactly-once argument rests on.
+	StateRevoked = "revoked"
 )
 
 // Terminal reports whether a state is final.
 func Terminal(state string) bool {
-	return state == StateCompleted || state == StateRejected || state == StateDrained
+	return state == StateCompleted || state == StateRejected ||
+		state == StateDrained || state == StateRevoked
 }
 
 // Config tunes the service.
@@ -105,6 +112,20 @@ type Config struct {
 	// journal so accepted jobs survive SIGKILL, OOM and power loss. nil
 	// keeps the pre-journal behavior byte-identical.
 	Journal *journal.Journal
+	// HoldRecovered parks non-terminal jobs found by Restore instead of
+	// re-enqueueing them: a federated shard must not re-execute recovered
+	// work until the router's join handshake confirms it still owns each
+	// job (ResumeHeld) or revokes it (Revoke). false keeps the standalone
+	// behavior: recovered jobs go straight back into the queue.
+	HoldRecovered bool
+	// Gate, when non-nil, is consulted before the engine loop dequeues
+	// work: a false return pauses scheduling (already-scheduled jobs still
+	// complete). A federated shard gates on its router lease so a
+	// partitioned shard stops starting new jobs, keeping them revocable.
+	// The gate runs under the server's internal lock: it must be fast and
+	// must not call back into the Server (use Kick from elsewhere to
+	// re-evaluate it). nil means always open.
+	Gate func() bool
 	// OnTerminal, when non-nil, is called exactly once per job the moment
 	// its record reaches a terminal state (completed, rejected or
 	// drained), with a copy of the record. It is the push-based
@@ -176,7 +197,13 @@ type Record struct {
 	Finish   simtime.Time `json:"finish,omitempty"`
 	Level    int          `json:"level,omitempty"`
 	Retries  int          `json:"retries,omitempty"`
-	Seq      uint64       `json:"seq"`
+	// Epoch is the federation reallocation round that placed (or revoked)
+	// this job on this shard; always 0 outside federation. Revocation
+	// tombstones keep the epoch they were planted at, and RevokeEpoch /
+	// Resurrect use it to tell a stale replay of an old binding from a
+	// deliberate router decision.
+	Epoch int    `json:"epoch,omitempty"`
+	Seq   uint64 `json:"seq"`
 }
 
 // Metrics is a point-in-time counters snapshot.
@@ -189,6 +216,9 @@ type Metrics struct {
 	Infeasible     uint64            `json:"infeasible"`
 	Overloaded     uint64            `json:"overloaded"`
 	Drained        uint64            `json:"drained"`
+	Revoked        uint64            `json:"revoked,omitempty"`
+	Resurrected    uint64            `json:"resurrected,omitempty"`
+	Held           int               `json:"held,omitempty"`
 	QueueDepth     int               `json:"queueDepth"`
 	QueueHighWater int               `json:"queueHighWater"`
 	EngineNow      simtime.Time      `json:"engineNow"`
@@ -210,6 +240,9 @@ type RecoveryStats struct {
 	// Requeued is how many non-terminal jobs went back into the admission
 	// queue to be scheduled again.
 	Requeued int `json:"requeued"`
+	// Held is how many non-terminal jobs were parked (Config.HoldRecovered)
+	// awaiting the federation join handshake instead of being requeued.
+	Held int `json:"held,omitempty"`
 	// Terminal is how many jobs were already terminal; they are ledgered
 	// so the duplicate-submit guard holds across the restart but are never
 	// re-executed.
@@ -255,6 +288,7 @@ type Server struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []*entry
+	held    map[string]*entry // parked recovered jobs (Config.HoldRecovered)
 	records map[string]*Record
 	order   []string // record IDs in submission order
 	seq     uint64
@@ -282,6 +316,7 @@ type Server struct {
 type telemetryHandles struct {
 	submitted, accepted, completed, rejected *telemetry.Counter
 	shed, infeasible, overloaded, drained    *telemetry.Counter
+	revoked                                  *telemetry.Counter
 	queueDepth, queueHighWater               *telemetry.Gauge
 	engineNow, eventsFired                   *telemetry.Gauge
 	queueWait                                *telemetry.Histogram
@@ -303,6 +338,7 @@ func newTelemetryHandles(reg *telemetry.Registry) telemetryHandles {
 		infeasible:     c("grid_service_infeasible_total", "submissions rejected by deadline admission control"),
 		overloaded:     c("grid_service_overloaded_total", "submissions refused with backpressure"),
 		drained:        c("grid_service_drained_total", "queued jobs snapshotted at shutdown"),
+		revoked:        c("grid_service_revoked_total", "jobs revoked by the federation router (incl. tombstones)"),
 		queueDepth:     g("grid_service_queue_depth", "current admission-queue length"),
 		queueHighWater: g("grid_service_queue_high_water", "maximum admission-queue length observed"),
 		engineNow:      g("grid_service_engine_now", "model time as of the last completed step"),
@@ -328,6 +364,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		engine:    sim.New(),
 		records:   make(map[string]*Record),
+		held:      make(map[string]*entry),
 		buildCtxs: make(map[string]context.CancelFunc),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -701,7 +738,7 @@ func (s *Server) loop() {
 	defer close(s.loopDone)
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.draining {
+		for (len(s.queue) == 0 || !s.gateOpenLocked()) && !s.draining {
 			s.cond.Wait()
 		}
 		if s.draining {
@@ -725,6 +762,19 @@ func (s *Server) loop() {
 		}
 		s.publishEngineStats()
 	}
+}
+
+// gateOpenLocked evaluates the optional dequeue gate under s.mu.
+func (s *Server) gateOpenLocked() bool {
+	return s.cfg.Gate == nil || s.cfg.Gate()
+}
+
+// Kick re-evaluates the dequeue gate: call it whenever the gate's input
+// changes (e.g. a router lease refresh) so a paused engine loop wakes up.
+func (s *Server) Kick() {
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // publishEngineStats copies the engine clock into the locked snapshot
@@ -842,6 +892,218 @@ func (s *Server) Quiesce() simtime.Time {
 	return t
 }
 
+// ErrInFlight is returned by Revoke for a job the engine already owns: it
+// was dequeued (scheduled or about to be), so it can no longer be taken
+// back — it will reach a terminal state here.
+var ErrInFlight = fmt.Errorf("service: job is in flight and cannot be revoked")
+
+// Revoke takes a job back on behalf of a federation router so it can be
+// reallocated to another shard. The outcome is encoded in the returned
+// record's state:
+//
+//   - still queued (or held from recovery): removed and marked revoked —
+//     the shard will never execute it;
+//   - never seen: a terminal "revoked" tombstone is planted under the ID,
+//     so a delayed handoff that arrives later is refused as a duplicate
+//     (this closes the reorder race that would double-execute);
+//   - already terminal: the existing record is returned unchanged;
+//   - dequeued by the engine: ErrInFlight — the router must keep the job
+//     bound to this shard and wait for its terminal state.
+//
+// Revoke is idempotent: repeating it returns the same terminal record.
+func (s *Server) Revoke(id, reason string) (Record, error) {
+	return s.RevokeEpoch(id, reason, 0)
+}
+
+// RevokeEpoch is Revoke carrying the router's reallocation epoch. The
+// epoch makes revocation safe against replayed RPCs once Resurrect
+// exists: a record placed at a higher epoch than the request's was bound
+// here by a NEWER router decision, so the (necessarily stale) revocation
+// is refused with ErrInFlight instead of yanking a legitimate placement.
+// Revoking an already-revoked tombstone raises the tombstone's epoch to
+// the request's, so stale handoff replays of the just-revoked binding
+// stay refused.
+func (s *Server) RevokeEpoch(id, reason string, epoch int) (Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.held[id]; ok {
+		if e.rec.Epoch > epoch {
+			return *e.rec, ErrInFlight
+		}
+		delete(s.held, id)
+		s.revokeEntryLocked(e.rec, reason, epoch)
+		return *e.rec, nil
+	}
+	for i, e := range s.queue {
+		if e.rec.ID != id {
+			continue
+		}
+		if e.rec.Epoch > epoch {
+			return *e.rec, ErrInFlight
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		s.th.queueDepth.Set(float64(len(s.queue)))
+		s.revokeEntryLocked(e.rec, reason, epoch)
+		return *e.rec, nil
+	}
+	if rec, ok := s.records[id]; ok {
+		if rec.State == StateRevoked {
+			if epoch > rec.Epoch {
+				rec.Epoch = epoch
+				rec.Reason = reason
+				_ = s.journalLocked(journal.Record{Job: id, State: StateRevoked, Reason: reason, Epoch: epoch})
+			}
+			return *rec, nil
+		}
+		if Terminal(rec.State) {
+			return *rec, nil
+		}
+		return *rec, ErrInFlight
+	}
+	// Tombstone: ledger the ID as revoked before any handoff ever landed.
+	rec := s.newRecordLocked(id, strategy.Type(0), 0, StateRevoked)
+	rec.Reason = "revoked before arrival: " + reason
+	rec.Epoch = epoch
+	_ = s.journalLocked(journal.Record{Job: id, State: StateRevoked, Reason: rec.Reason, Epoch: epoch})
+	s.met.Revoked++
+	s.th.revoked.Inc()
+	s.notifyTerminalLocked(rec)
+	return *rec, nil
+}
+
+// revokeEntryLocked marks one reclaimed entry's record revoked.
+func (s *Server) revokeEntryLocked(rec *Record, reason string, epoch int) {
+	rec.State = StateRevoked
+	rec.Reason = reason
+	if epoch > rec.Epoch {
+		rec.Epoch = epoch
+	}
+	_ = s.journalLocked(journal.Record{Job: rec.ID, State: StateRevoked, Reason: reason, Epoch: rec.Epoch})
+	s.met.Revoked++
+	s.th.revoked.Inc()
+	s.notifyTerminalLocked(rec)
+}
+
+// ErrNotRevoked is returned by Resurrect when the job's ledger entry is
+// not a resurrectable tombstone (missing, active, terminal another way,
+// or placed at an epoch at or above the caller's).
+var ErrNotRevoked = fmt.Errorf("service: record is not a resurrectable tombstone")
+
+// Resurrect re-admits a job whose ledger entry is a revoked (or drained)
+// tombstone — the service half of the federation recovery ladder's final
+// rung. After a router has confirmed revocation of a job on every shard,
+// the job is provably running nowhere, so a deliberate re-handoff
+// carrying a reallocation epoch strictly above the tombstone's may turn
+// the tombstone back into a queued admission; stale replays of a revoked
+// binding carry the tombstone's own epoch or lower and are refused. The
+// record keeps its identity and Seq and remembers the placement epoch;
+// the re-admission is journaled write-ahead like any accept. An
+// infeasible resurrection flips the tombstone to a rejected ledger entry
+// instead, so definitive rejections stay shard-ledgered.
+func (s *Server) Resurrect(wire jobio.Job, strategyName string, priority, epoch int) (*Record, error) {
+	typ, err := strategy.ParseType(strategyName)
+	if err != nil {
+		return nil, &SubmitError{Code: CodeInvalid, Reason: err.Error()}
+	}
+	job, err := wire.ToJob()
+	if err != nil {
+		return nil, &SubmitError{Code: CodeInvalid, Reason: err.Error()}
+	}
+	infeasible := ""
+	if bound := minDeadline(job); simtime.Time(wire.Deadline) < bound {
+		infeasible = fmt.Sprintf("infeasible: deadline %d is below the fastest-tier critical path %d", wire.Deadline, bound)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[wire.Name]
+	if !ok {
+		return nil, ErrNotRevoked
+	}
+	if (rec.State != StateRevoked && rec.State != StateDrained) || epoch <= rec.Epoch {
+		return rec.clone(), ErrNotRevoked
+	}
+	if s.draining {
+		return nil, &SubmitError{Code: CodeDraining,
+			Reason: "service is draining; not accepting work", RetryAfter: s.cfg.retryAfter()}
+	}
+	if infeasible != "" {
+		rec.State = StateRejected
+		rec.Reason = infeasible
+		rec.Strategy, rec.Priority, rec.Epoch = typ.String(), priority, epoch
+		_ = s.journalLocked(journal.Record{Job: wire.Name, State: StateRejected,
+			Reason: infeasible, Strategy: typ.String(), Priority: priority, Epoch: epoch})
+		s.met.Rejected++
+		s.th.rejected.Inc()
+		s.notifyTerminalLocked(rec)
+		return rec.clone(), &SubmitError{Code: CodeInfeasible, Reason: infeasible}
+	}
+	if len(s.queue) >= s.cfg.queueCap() {
+		return nil, &SubmitError{Code: CodeOverloaded,
+			Reason:     fmt.Sprintf("admission queue full (%d)", s.cfg.queueCap()),
+			RetryAfter: s.cfg.retryAfter()}
+	}
+	if err := s.journalLocked(journal.Record{
+		Job: wire.Name, State: StateQueued,
+		Strategy: typ.String(), Priority: priority, Wire: &wire, Epoch: epoch,
+	}); err != nil {
+		return nil, &SubmitError{Code: CodeInternal,
+			Reason: fmt.Sprintf("journal append failed, job not resurrected: %v", err)}
+	}
+	rec.State = StateQueued
+	rec.Reason = ""
+	rec.Strategy, rec.Priority, rec.Epoch = typ.String(), priority, epoch
+	s.met.Resurrected++
+	s.queue = append(s.queue, &entry{rec: rec, job: job, wire: wire, typ: typ, enq: time.Now()})
+	s.th.queueDepth.Set(float64(len(s.queue)))
+	if d := len(s.queue); d > s.met.QueueHighWater {
+		s.met.QueueHighWater = d
+		s.th.queueHighWater.Set(float64(d))
+	}
+	s.cond.Signal()
+	return rec.clone(), nil
+}
+
+// Held returns the IDs of recovered jobs parked by Restore under
+// Config.HoldRecovered, sorted.
+func (s *Server) Held() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.held))
+	for id := range s.held {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResumeHeld releases parked recovered jobs back into the admission queue
+// — the router's join handshake confirmed this shard still owns them.
+// Unknown or already-released IDs are ignored; the count moved is
+// returned.
+func (s *Server) ResumeHeld(ids []string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	moved := 0
+	for _, id := range ids {
+		e, ok := s.held[id]
+		if !ok {
+			continue
+		}
+		delete(s.held, id)
+		s.queue = append(s.queue, e)
+		moved++
+	}
+	if moved > 0 {
+		s.th.queueDepth.Set(float64(len(s.queue)))
+		if d := len(s.queue); d > s.met.QueueHighWater {
+			s.met.QueueHighWater = d
+			s.th.queueHighWater.Set(float64(d))
+		}
+		s.cond.Broadcast()
+	}
+	return moved
+}
+
 // Drain gracefully shuts the service down: admissions stop, the engine
 // loop exits, still-queued jobs are snapshotted to disk (jobio wire form)
 // and marked drained, and in-flight jobs are run to completion — bounded
@@ -932,6 +1194,13 @@ func (s *Server) drain(ctx context.Context) error {
 // truncated file.
 func (s *Server) snapshotQueued() error {
 	s.mu.Lock()
+	// Held recovered jobs drain like queued ones: they are accepted work
+	// this shard still owes an answer for.
+	for id, e := range s.held {
+		s.queue = append(s.queue, e)
+		delete(s.held, id)
+	}
+	sort.Slice(s.queue, func(a, b int) bool { return s.queue[a].rec.Seq < s.queue[b].rec.Seq })
 	var wires []jobio.Job
 	for _, e := range s.queue {
 		wires = append(wires, e.wire)
@@ -982,6 +1251,7 @@ func (s *Server) Restore(rec *journal.Recovery) (RecoveryStats, error) {
 		if Terminal(js.State) {
 			r := s.newRecordLocked(js.Job, typ, js.Priority, js.State)
 			r.Reason = js.Reason
+			r.Epoch = js.Epoch
 			stats.Restored++
 			stats.Terminal++
 			continue
@@ -1013,18 +1283,28 @@ func (s *Server) Restore(rec *journal.Recovery) (RecoveryStats, error) {
 			continue
 		}
 		r := s.newRecordLocked(js.Job, typ, js.Priority, StateQueued)
-		s.queue = append(s.queue, &entry{rec: r, job: job, wire: *js.Wire, typ: typ})
+		r.Epoch = js.Epoch
+		e := &entry{rec: r, job: job, wire: *js.Wire, typ: typ}
+		if s.cfg.HoldRecovered {
+			// Park it: the federation join handshake decides whether this
+			// shard still owns the job (ResumeHeld) or lost it while down
+			// (Revoke). Until then it must not execute.
+			s.held[js.Job] = e
+			stats.Held++
+		} else {
+			s.queue = append(s.queue, e)
+			stats.Requeued++
+		}
 		// Re-journal the accept: after the post-restore compaction the
 		// journal stays self-contained even though the original admission
 		// record is gone.
 		_ = s.journalLocked(journal.Record{
 			Job: js.Job, State: StateQueued,
-			Strategy: typ.String(), Priority: js.Priority, Wire: js.Wire,
+			Strategy: typ.String(), Priority: js.Priority, Wire: js.Wire, Epoch: js.Epoch,
 		})
 		s.met.Accepted++
 		s.th.accepted.Inc()
 		stats.Restored++
-		stats.Requeued++
 	}
 	s.th.queueDepth.Set(float64(len(s.queue)))
 	if d := len(s.queue); d > s.met.QueueHighWater {
@@ -1093,6 +1373,7 @@ func (s *Server) Metrics() Metrics {
 	defer s.mu.Unlock()
 	m := s.met
 	m.QueueDepth = len(s.queue)
+	m.Held = len(s.held)
 	m.EngineNow = s.engineNow
 	m.EventsFired = s.engineFired
 	m.Draining = s.draining
