@@ -40,6 +40,7 @@ func main() {
 		bench      = flag.String("bench", "BenchmarkFig3aAdmissibility", "benchmark name to compare")
 		outPath    = flag.String("out", "BENCH_parallel.json", "where to write the comparison record")
 		minSpeedup = flag.Float64("min-speedup", 1.0, "fail unless sequential_ns/parallel_ns exceeds this")
+		appendOut  = flag.Bool("append", false, "write -out as a JSON array, appending to existing records (replacing any for the same benchmark); used when several gates share one artifact")
 	)
 	flag.Parse()
 	if *seqPath == "" || *parPath == "" {
@@ -52,7 +53,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
-	if err := writeResult(*outPath, r); err != nil {
+	write := writeResult
+	if *appendOut {
+		write = appendResult
+	}
+	if err := write(*outPath, r); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
@@ -90,6 +95,34 @@ func compare(seqPath, parPath, bench string, minSpeedup float64) (result, error)
 // writeResult marshals the record to path (indented, trailing newline).
 func writeResult(path string, r result) error {
 	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// appendResult maintains path as a JSON array of records: existing
+// records are kept, except any earlier record for the same benchmark,
+// which the new one replaces. A missing or empty file starts a new
+// array, so a sequence of -append invocations (the calendar gate runs
+// three) builds the combined artifact regardless of order.
+func appendResult(path string, r result) error {
+	var records []result
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("%s: existing artifact is not a record array: %v", path, err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	out := records[:0]
+	for _, old := range records {
+		if old.Benchmark != r.Benchmark {
+			out = append(out, old)
+		}
+	}
+	out = append(out, r)
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -119,3 +119,48 @@ func TestWriteResult(t *testing.T) {
 		t.Errorf("round trip: %+v vs %+v", out, in)
 	}
 }
+
+func TestAppendResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_calendar.json")
+
+	// A missing file starts a fresh single-record array.
+	a := result{Benchmark: "BenchmarkA", SequentialNs: 100, ParallelNs: 10, Speedup: 10, MinSpeedup: 2, Pass: true}
+	if err := appendResult(path, a); err != nil {
+		t.Fatal(err)
+	}
+	// A second benchmark appends; re-running the first replaces its
+	// record in place instead of duplicating it.
+	b := result{Benchmark: "BenchmarkB", SequentialNs: 60, ParallelNs: 20, Speedup: 3, MinSpeedup: 2, Pass: true}
+	if err := appendResult(path, b); err != nil {
+		t.Fatal(err)
+	}
+	a2 := a
+	a2.Speedup = 12
+	if err := appendResult(path, a2); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []result
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("artifact is not a record array: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2: %v", len(got), got)
+	}
+	if got[0] != b || got[1] != a2 {
+		t.Errorf("records = %+v, want [%+v %+v]", got, b, a2)
+	}
+
+	// A corrupt artifact is an error, not a silent restart.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendResult(bad, a); err == nil {
+		t.Error("appendResult accepted a corrupt artifact")
+	}
+}

@@ -82,6 +82,7 @@ func main() {
 		shardName    = flag.String("shard", "", "run as a federation shard with this name (serves the handoff/revoke/ping endpoints)")
 		joinURL      = flag.String("join", "", "router base URL to join (requires -shard); empty serves federation endpoints standalone")
 		leaseTimeout = flag.Duration("lease", 0, "router-contact lease: park the engine when the router has been silent this long (0 disables; requires -shard)")
+		noRepair     = flag.Bool("no-repair", false, "disable incremental strategy repair on the fallback path (every re-anchor runs a full critical-works rebuild)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 		spansPath    = flag.String("spans", "", "write scheduling spans as JSON lines to this file, - for stderr")
 		tracePath    = flag.String("trace", "", "write VO lifecycle events as JSON lines to this file, - for stderr; sharing the -spans path interleaves both streams line-atomically")
@@ -152,11 +153,12 @@ func main() {
 		Telemetry:    reg,
 		Journal:      jnl,
 		Sched: metasched.Config{
-			Seed:    *seed,
-			Workers: *workers,
-			Placers: *placers,
-			Tracer:  tracer,
-			Spans:   spans,
+			Seed:     *seed,
+			Workers:  *workers,
+			Placers:  *placers,
+			NoRepair: *noRepair,
+			Tracer:   tracer,
+			Spans:    spans,
 			Faults: faults.Config{
 				MTBF:         *mtbf,
 				MTTR:         *mttr,

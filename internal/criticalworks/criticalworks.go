@@ -77,7 +77,17 @@ type Schedule struct {
 	// the chains placed before the failure; its Collisions are still
 	// meaningful (the method attempted those allocations).
 	Partial bool
+
+	// memo, when the build ran with Options.CaptureMemo and succeeded at
+	// margin 1, records the construction trace for incremental repair
+	// (repair.go); nil otherwise.
+	memo *BuildMemo
 }
+
+// Memo returns the build's repair memo, or nil when the build was not
+// memoized (Options.CaptureMemo off, non-ResolveReallocate mode, or
+// success only at an inflated serialization margin).
+func (s *Schedule) Memo() *BuildMemo { return s.memo }
 
 // Makespan returns Finish − Start.
 func (s *Schedule) Makespan() simtime.Time { return s.Finish - s.Start }
@@ -152,6 +162,12 @@ type Options struct {
 	// a child per margin attempt, one per critical work, and one per DP
 	// phase (ideal/actual). nil disables tracing at zero cost.
 	Spans *telemetry.Tracer
+	// CaptureMemo records the margin-1 construction trace on the returned
+	// Schedule (Schedule.Memo) so a later build over a shrunken candidate
+	// set can be replayed or spliced instead of re-solved (TryRepair).
+	// Only margin-1 successes in ResolveReallocate mode are memoized;
+	// capture never changes the build's result.
+	CaptureMemo bool
 	// ParentSpan links the build's root span under the caller's span;
 	// when zero, the parent is read from Ctx (telemetry.SpanFromContext).
 	ParentSpan telemetry.SpanID
@@ -232,6 +248,11 @@ type builder struct {
 	colls  []Collision
 	evals  int64
 
+	// capture makes placeChain record a ChainMemo per critical work; set
+	// only on the margin-1 attempt of a memoizing ResolveReallocate build.
+	capture bool
+	chains  []ChainMemo
+
 	// span is the enclosing margin attempt's span ID; 0 when tracing is
 	// off (per-chain and per-DP-phase spans hang under it).
 	span telemetry.SpanID
@@ -309,16 +330,22 @@ func buildResult(err error) string {
 	}
 }
 
-// build is the uninstrumented core of Build.
-func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options) (*Schedule, error) {
+// normalize applies Build's option defaulting. It is shared with the
+// repair path (TryRepair), which must key its memo validation on exactly
+// the effective options a full build would run under. tableDerived
+// reports whether the estimate table was defaulted via estimate.Derive —
+// a deterministic function of the job, so two derived tables are
+// interchangeable where two caller-supplied tables must be pointer-equal.
+func normalize(env *resource.Environment, job *dag.Job, opt Options) (_ Options, tableDerived bool, _ error) {
 	if opt.JobName == "" {
 		opt.JobName = job.Name
 	}
-	if opt.Table == nil {
+	tableDerived = opt.Table == nil
+	if tableDerived {
 		opt.Table = estimate.Derive(job)
 	}
 	if err := opt.Table.CoversJob(job); err != nil {
-		return nil, err
+		return opt, tableDerived, err
 	}
 	if opt.Catalog == nil {
 		opt.Catalog = data.NewCatalog(data.RemoteAccess, 0)
@@ -330,7 +357,7 @@ func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options)
 		opt.Deadline = job.Deadline
 	}
 	if opt.Deadline <= opt.Release {
-		return nil, &InfeasibleError{Job: opt.JobName, Task: job.Task(job.TopoOrder()[0]).Name}
+		return opt, tableDerived, &InfeasibleError{Job: opt.JobName, Task: job.Task(job.TopoOrder()[0]).Name}
 	}
 	if opt.Horizon == 0 {
 		opt.Horizon = opt.Release + 4*(opt.Deadline-opt.Release)
@@ -339,7 +366,28 @@ func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options)
 		opt.Candidates = allNodes(env)
 	}
 	if len(opt.Candidates) == 0 {
-		return nil, ErrNoCandidates
+		return opt, tableDerived, ErrNoCandidates
+	}
+	return opt, tableDerived, nil
+}
+
+// build is the uninstrumented core of Build.
+func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options) (*Schedule, error) {
+	opt, tableDerived, err := normalize(env, job, opt)
+	if err != nil {
+		return nil, err
+	}
+	var memo *BuildMemo
+	if opt.CaptureMemo && opt.Mode == ResolveReallocate {
+		// The read-set is captured from the input view before any attempt
+		// mutates it: the generations the build's decisions depended on.
+		reads := make(map[resource.NodeID]uint64, len(opt.Candidates))
+		for _, id := range opt.Candidates {
+			if c, ok := cals[id]; ok {
+				reads[id] = c.Gen()
+			}
+		}
+		memo = newMemo(opt, tableDerived, reads)
 	}
 
 	var firstPartial *Schedule
@@ -350,12 +398,13 @@ func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options)
 		attempt.Catalog = opt.Catalog.Clone()
 		trial := cloneView(cals)
 		b := &builder{
-			env:    env,
-			cals:   trial,
-			job:    job,
-			opt:    attempt,
-			margin: mg,
-			placed: make(map[dag.TaskID]Placement, job.NumTasks()),
+			env:     env,
+			cals:    trial,
+			job:     job,
+			opt:     attempt,
+			margin:  mg,
+			placed:  make(map[dag.TaskID]Placement, job.NumTasks()),
+			capture: memo != nil && mg == 1,
 		}
 		var asp *telemetry.Span
 		if opt.Spans != nil {
@@ -368,6 +417,11 @@ func build(env *resource.Environment, cals Calendars, job *dag.Job, opt Options)
 		evals += b.evals
 		if err == nil {
 			sched.Evaluations = evals
+			if b.capture {
+				memo.Chains = b.chains
+				memo.Schedule = sched
+				sched.memo = memo
+			}
 			// Adopt the successful attempt's reservations and data
 			// placements into the caller's view.
 			for id, c := range trial {

@@ -1,6 +1,8 @@
 package criticalworks
 
 import (
+	"sort"
+
 	"repro/internal/dag"
 	"repro/internal/economy"
 	"repro/internal/resource"
@@ -21,6 +23,7 @@ func (b *builder) placeChain(chain dag.Chain) error {
 		chainSpan.SetInt("tasks", int64(len(chain.Tasks)))
 		defer func() { chainSpan.SetInt("evaluations", b.evals-evals0).End() }()
 	}
+	memoEvals, memoColls := b.evals, len(b.colls)
 
 	ideal, ok := b.dpPhase(chainSpan, "ideal", chain, true)
 	if !ok {
@@ -69,6 +72,31 @@ func (b *builder) placeChain(chain dag.Chain) error {
 		if okF && okT {
 			b.opt.Catalog.Commit(b.opt.JobName, b.job.Task(e.From).Name, from.Node, to.Node)
 		}
+	}
+
+	if b.capture {
+		// Touched must cover the ideal placements too: the memoized
+		// collisions derive from them, so a repair may only skip this
+		// chain's re-solve when no node of either phase was removed.
+		touched := make(map[resource.NodeID]bool, len(actual))
+		for _, p := range ideal {
+			touched[p.Node] = true
+		}
+		for _, p := range actual {
+			touched[p.Node] = true
+		}
+		nodes := make([]resource.NodeID, 0, len(touched))
+		for n := range touched {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		b.chains = append(b.chains, ChainMemo{
+			Tasks:   append([]dag.TaskID(nil), chain.Tasks...),
+			Actual:  append([]Placement(nil), actual...),
+			Touched: nodes,
+			Colls:   append([]Collision(nil), b.colls[memoColls:]...),
+			Evals:   b.evals - memoEvals,
+		})
 	}
 	return nil
 }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The repair differential gate: incremental strategy repair (DESIGN.md
+// §14) must be invisible in every byte the experiments emit. Each case
+// runs the same configuration twice — repair on (the default) and
+// NoRepair (every fallback re-anchor a full rebuild) — and requires
+// byte-identical reports, identical raw value maps, and byte-identical
+// traces. The availability sweep is the sharp case: outages void
+// reservations mid-run, so the fallback path (the only consumer of the
+// repair memos) fires constantly.
+
+func TestRepairMatchesFullRebuild(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T, seed uint64, noRepair bool) diffOutcome
+	}{
+		{"availability", func(t *testing.T, seed uint64, noRepair bool) diffOutcome {
+			var trace bytes.Buffer
+			cfg := DefaultAvailability(seed, 12)
+			cfg.Levels = []float64{1.0, 0.95, 0.8}
+			cfg.Trace = &trace
+			cfg.NoRepair = noRepair
+			r, err := Availability(cfg)
+			return capture(t, r, err, &trace)
+		}},
+		{"fig4", func(t *testing.T, seed uint64, noRepair bool) diffOutcome {
+			var trace bytes.Buffer
+			cfg := DefaultFig4(seed, 25)
+			cfg.Trace = &trace
+			cfg.NoRepair = noRepair
+			r, err := Fig4c(cfg)
+			return capture(t, r, err, &trace)
+		}},
+		{"local-passing", func(t *testing.T, seed uint64, noRepair bool) diffOutcome {
+			cfg := DefaultFig4(seed, 25)
+			cfg.NoRepair = noRepair
+			r, err := LocalPassing(cfg)
+			return capture(t, r, err, nil)
+		}},
+	}
+
+	for _, tc := range cases {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				on := tc.run(t, seed, false)
+				off := tc.run(t, seed, true)
+				if !bytes.Equal(on.report, off.report) {
+					t.Errorf("report bytes differ between repair and -no-repair\nrepair:\n%s\nno-repair:\n%s",
+						on.report, off.report)
+				}
+				if !reflect.DeepEqual(on.values, off.values) {
+					t.Errorf("raw values differ between repair and -no-repair:\nrepair:    %v\nno-repair: %v",
+						on.values, off.values)
+				}
+				if !bytes.Equal(on.trace, off.trace) {
+					t.Errorf("trace bytes differ between repair and -no-repair (%d vs %d bytes)",
+						len(on.trace), len(off.trace))
+				}
+			})
+		}
+	}
+}
+
+// TestRepairActuallyFires pins the differential suite against vacuity:
+// under the availability sweep the repair path must serve a non-zero
+// number of fallback re-anchors from memos (replays or splices), and
+// with NoRepair the counters must not even be registered. Without this,
+// byte-equality above could silently mean "repair never ran".
+func TestRepairActuallyFires(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := DefaultAvailability(3, 12)
+	cfg.Levels = []float64{1.0, 0.95, 0.8}
+	cfg.Telemetry = reg
+	if _, err := Availability(cfg); err != nil {
+		t.Fatal(err)
+	}
+	hits := reg.Counter("grid_repair_hits_total", "").Value()
+	splices := reg.Counter("grid_repair_splices_total", "").Value()
+	misses := reg.Counter("grid_repair_misses_total", "").Value()
+	rebuilds := reg.Counter("grid_repair_full_rebuilds_total", "").Value()
+	t.Logf("repair counters: hits=%d splices=%d misses=%d full_rebuilds=%d", hits, splices, misses, rebuilds)
+	if hits+splices == 0 {
+		t.Error("repair never served a fallback re-anchor: the differential gate is vacuous")
+	}
+	if hits+splices+rebuilds == 0 {
+		t.Error("no fallback builds at all: the sweep no longer exercises the fallback path")
+	}
+
+	off := telemetry.NewRegistry()
+	cfg.Telemetry = off
+	cfg.NoRepair = true
+	if _, err := Availability(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := off.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("grid_repair_")) {
+		t.Error("NoRepair run registered grid_repair_* counters")
+	}
+}

@@ -143,6 +143,14 @@ type Config struct {
 	// before its remaining jobs fall back to the guaranteed sequential
 	// path. 0 means 3.
 	PlacerRounds int
+
+	// NoRepair disables incremental strategy repair on the fallback path:
+	// every supporting-level re-anchor runs the full critical-works build
+	// even when the previous build's memo could be replayed or spliced.
+	// Repair is on by default and provably byte-identical to the full
+	// rebuild (the repair differential and fuzz suites pin this); the
+	// flag is the escape hatch and the differential baseline.
+	NoRepair bool
 }
 
 // PlacementPolicy selects how the metascheduler distributes arriving jobs
@@ -311,6 +319,7 @@ type VO struct {
 	pending  map[simtime.Time][]pendingArrival // same-tick batches, placers > 1 only
 	batchSeq int                               // submission order across batches
 	pm       placerMetrics
+	rm       *strategy.RepairMetrics
 
 	failRng   *rng.Source // mid-run task-failure draws, nil when disabled
 	jitterRng *rng.Source // retry-backoff jitter draws, nil when disabled
@@ -336,6 +345,9 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 	if cfg.Telemetry != nil && cfg.Placers > 1 {
 		vo.pm.register(cfg.Telemetry)
 	}
+	if cfg.Telemetry != nil && !cfg.NoRepair {
+		vo.rm = strategy.NewRepairMetrics(cfg.Telemetry)
+	}
 	if cfg.Faults.JitterFrac > 0 {
 		vo.jitterRng = rng.New(cfg.Faults.Seed).Split(0x717E)
 	}
@@ -349,14 +361,16 @@ func NewVO(engine *sim.Engine, env *resource.Environment, cfg Config) *VO {
 			domain: dom,
 			pool:   pool,
 			gen: &strategy.Generator{
-				Env:         env,
-				Pricing:     cfg.Pricing,
-				Pool:        pool,
-				StorageNode: pool[0],
-				Objective:   cfg.Objective,
-				Workers:     cfg.Workers,
-				Telemetry:   cfg.Telemetry,
-				Spans:       cfg.Spans,
+				Env:          env,
+				Pricing:      cfg.Pricing,
+				Pool:         pool,
+				StorageNode:  pool[0],
+				Objective:    cfg.Objective,
+				Workers:      cfg.Workers,
+				Telemetry:    cfg.Telemetry,
+				Spans:        cfg.Spans,
+				CaptureMemos: !cfg.NoRepair,
+				Repair:       vo.rm,
 			},
 		}
 		vo.managers = append(vo.managers, m)
@@ -750,6 +764,13 @@ func (m *JobManager) fallback(aj *activeJob) {
 		sp.SetStr("job", aj.result.Job.Name).SetStr("domain", m.domain)
 		defer func() { sp.SetInt("levels_tried", int64(tried)).End() }()
 	}
+	gens := func(id resource.NodeID) uint64 { return vo.env.Node(id).Calendar().Gen() }
+	snap := func() criticalworks.Calendars { return criticalworks.Snapshot(vo.env) }
+	// lastMemo carries the most recent level build's memo across loop
+	// passes: the live books don't change between them, and consecutive
+	// levels shrink the candidate set (the tier filter), so the previous
+	// build can often be replayed or spliced instead of re-run.
+	var lastMemo *criticalworks.BuildMemo
 	// Try remaining levels in the cost order of the original generation.
 	for {
 		next := aj.strat.AdmissibleAfter(aj.used)
@@ -759,14 +780,42 @@ func (m *JobManager) fallback(aj *activeJob) {
 		}
 		aj.used[next.Level] = true
 		tried++
-		snap := criticalworks.Snapshot(vo.env)
 		// buildCtx is re-acquired per level: each call arms a fresh
 		// build-timeout for the job, exactly as before instrumentation.
 		ctx := vo.buildCtx(aj.result.Job.Name)
 		if sp != nil {
 			ctx = telemetry.ContextWithSpan(ctx, sp.ID())
 		}
-		d, partial, err := m.gen.BuildLevelCtx(ctx, aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap, now)
+		var d *strategy.Distribution
+		var partial *criticalworks.Schedule
+		var err error
+		repaired := false
+		if !vo.cfg.NoRepair {
+			// Two memo sources, cheapest-to-validate first: the build this
+			// loop just ran, then the level's original distribution (only
+			// live when the books haven't moved since generation).
+			for _, memo := range []*criticalworks.BuildMemo{lastMemo, next.Memo()} {
+				if memo == nil {
+					continue
+				}
+				rd, outcome := m.gen.RepairLevelCtx(ctx, aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, memo, now, gens, snap)
+				vo.rm.Observe(outcome)
+				if outcome == criticalworks.RepairStale {
+					continue
+				}
+				d, repaired = rd, true
+				break
+			}
+		}
+		if !repaired {
+			if !vo.cfg.NoRepair {
+				vo.rm.FullRebuild()
+			}
+			d, partial, err = m.gen.BuildLevelCtx(ctx, aj.strat.Scheduled, aj.result.Job.Name, aj.result.Type, next.Level, snap(), now)
+		}
+		if d != nil && d.Memo() != nil {
+			lastMemo = d.Memo()
+		}
 		if err != nil || d == nil || !d.Admissible {
 			if partial != nil {
 				aj.result.Evaluations += partial.Evaluations

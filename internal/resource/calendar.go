@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/simtime"
 )
@@ -38,6 +39,13 @@ type Reservation struct {
 type Calendar struct {
 	res []Reservation // sorted by Interval.Start, pairwise disjoint
 	gen uint64        // bumped on every mutation of res
+
+	// idx caches the derived window-query index (prefix busy sums and a
+	// max-gap tree, see index.go). It is built lazily, dropped by every
+	// mutation, and shared with clones; the atomic publication makes
+	// concurrent Clone/query traffic on a shared snapshot race-free —
+	// a duplicate lazy build is benign, both results are identical.
+	idx atomic.Pointer[calIndex]
 }
 
 // NewCalendar returns an empty calendar.
@@ -66,6 +74,20 @@ func (c *Calendar) Len() int { return len(c.res) }
 // bracket a span in which the book did not change.
 func (c *Calendar) Gen() uint64 { return c.gen }
 
+// mutated invalidates the derived index; call sites bump gen alongside.
+func (c *Calendar) mutated() { c.idx.Store(nil) }
+
+// index returns the calendar's window-query index, building it on first
+// use after a mutation.
+func (c *Calendar) index() *calIndex {
+	if ix := c.idx.Load(); ix != nil {
+		return ix
+	}
+	ix := buildIndex(c.res)
+	c.idx.Store(ix)
+	return ix
+}
+
 // Reservations returns a copy of all reservations in start order.
 func (c *Calendar) Reservations() []Reservation {
 	return append([]Reservation(nil), c.res...)
@@ -85,17 +107,16 @@ func (c *Calendar) ConflictWith(iv simtime.Interval) (Reservation, bool) {
 
 // ConflictsWith returns every reservation overlapping iv, in start order.
 func (c *Calendar) ConflictsWith(iv simtime.Interval) []Reservation {
-	var out []Reservation
 	if iv.Empty() {
 		return nil
 	}
-	for _, r := range c.res {
-		if r.Interval.Start >= iv.End {
-			break
-		}
-		if r.Interval.Overlaps(iv) {
-			out = append(out, r)
-		}
+	// Ends are strictly increasing (sorted + disjoint), so the overlap
+	// run is contiguous: from the first reservation ending after iv.Start
+	// up to the first one starting at or after iv.End.
+	var out []Reservation
+	i := searchRes(c.res, func(r *Reservation) bool { return r.Interval.End > iv.Start })
+	for ; i < len(c.res) && c.res[i].Interval.Start < iv.End; i++ {
+		out = append(out, c.res[i])
 	}
 	return out
 }
@@ -120,6 +141,7 @@ func (c *Calendar) Reserve(iv simtime.Interval, owner Owner) error {
 	copy(c.res[i+1:], c.res[i:])
 	c.res[i] = Reservation{Interval: iv, Owner: owner}
 	c.gen++
+	c.mutated()
 	return nil
 }
 
@@ -130,6 +152,7 @@ func (c *Calendar) Release(iv simtime.Interval, owner Owner) bool {
 		if r.Interval == iv && r.Owner == owner {
 			c.res = append(c.res[:i], c.res[i+1:]...)
 			c.gen++
+			c.mutated()
 			return true
 		}
 	}
@@ -151,6 +174,7 @@ func (c *Calendar) ReleaseOwner(owner Owner) int {
 	c.res = out
 	if removed > 0 {
 		c.gen++
+		c.mutated()
 	}
 	return removed
 }
@@ -169,6 +193,7 @@ func (c *Calendar) ReleaseJob(job string) int {
 	c.res = out
 	if removed > 0 {
 		c.gen++
+		c.mutated()
 	}
 	return removed
 }
@@ -176,19 +201,24 @@ func (c *Calendar) ReleaseJob(job string) int {
 // FirstFree returns the earliest start t >= earliest such that [t, t+length)
 // is free, searching up to the horizon. ok is false when no such window
 // exists before the horizon.
+//
+// Equivalent to walking the book linearly — skip reservations ending by t,
+// stop at the first gap of `length` ticks — but answered through the
+// max-gap tree: find the first reservation ending after `earliest`; if its
+// start already leaves room, start at `earliest`, otherwise descend to the
+// first following gap that fits.
 func (c *Calendar) FirstFree(earliest, length, horizon simtime.Time) (simtime.Time, bool) {
 	if length <= 0 || earliest >= horizon {
 		return 0, false
 	}
 	t := earliest
-	for _, r := range c.res {
-		if r.Interval.End <= t {
-			continue
+	i := searchRes(c.res, func(r *Reservation) bool { return r.Interval.End > earliest })
+	if i < len(c.res) && c.res[i].Interval.Start < earliest+length {
+		j := c.index().firstGapAtLeast(i, length)
+		if j < 0 {
+			j = len(c.res) - 1 // length > Infinity: walk past everything
 		}
-		if r.Interval.Start >= t+length {
-			break // gap before this reservation is large enough
-		}
-		t = r.Interval.End
+		t = c.res[j].Interval.End
 	}
 	if t+length <= horizon {
 		return t, true
@@ -196,22 +226,34 @@ func (c *Calendar) FirstFree(earliest, length, horizon simtime.Time) (simtime.Ti
 	return 0, false
 }
 
-// FreeWindows returns the free gaps within the given span.
+// FreeWindows returns the free gaps within the given span, in start
+// order, or nil when the span is fully reserved (or empty). The gaps are
+// derived directly from the sorted reservation slice — the book's
+// disjointness means the in-span reservations form one contiguous run,
+// so no interval-set materialization is needed.
 func (c *Calendar) FreeWindows(span simtime.Interval) []simtime.Interval {
-	busy := simtime.NewSet()
-	for _, r := range c.res {
-		busy.Add(r.Interval)
+	if span.Empty() {
+		return nil
 	}
-	return busy.Complement(span).Intervals()
+	var out []simtime.Interval
+	cursor := span.Start
+	i := searchRes(c.res, func(r *Reservation) bool { return r.Interval.End > span.Start })
+	for ; i < len(c.res) && c.res[i].Interval.Start < span.End; i++ {
+		r := c.res[i].Interval
+		if r.Start > cursor {
+			out = append(out, simtime.Interval{Start: cursor, End: r.Start})
+		}
+		cursor = r.End
+	}
+	if cursor < span.End {
+		out = append(out, simtime.Interval{Start: cursor, End: span.End})
+	}
+	return out
 }
 
 // BusyIn returns the number of reserved ticks inside span.
 func (c *Calendar) BusyIn(span simtime.Interval) simtime.Time {
-	var total simtime.Time
-	for _, r := range c.res {
-		total += r.Interval.Intersect(span).Len()
-	}
-	return total
+	return c.index().busyIn(c.res, span)
 }
 
 // UtilizationIn returns the fraction of span covered by reservations.
@@ -239,6 +281,7 @@ func (c *Calendar) PruneBefore(t simtime.Time) int {
 	c.res = kept
 	if removed > 0 {
 		c.gen++
+		c.mutated()
 	}
 	return removed
 }
@@ -251,6 +294,7 @@ func (c *Calendar) Void() []Reservation {
 	c.res = nil
 	if len(out) > 0 {
 		c.gen++
+		c.mutated()
 	}
 	return out
 }
@@ -262,5 +306,9 @@ func (c *Calendar) Void() []Reservation {
 func (c *Calendar) Clone() *Calendar {
 	cp := &Calendar{res: make([]Reservation, len(c.res)), gen: c.gen}
 	copy(cp.res, c.res)
+	// The index is derived from the reservation values alone, which the
+	// clone shares; publishing the same immutable index saves rebuilding
+	// it on every what-if pass over a snapshot.
+	cp.idx.Store(c.idx.Load())
 	return cp
 }

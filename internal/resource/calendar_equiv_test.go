@@ -1,0 +1,471 @@
+package resource
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// refCalendar is the naive linear reference model for the indexed
+// Calendar: a verbatim copy of the pre-index implementation, every query
+// a full walk over the sorted slice. The equivalence suite drives both
+// implementations with identical operation sequences and demands
+// identical answers to every query — the index must never change a
+// single result (DESIGN.md §14).
+type refCalendar struct {
+	res []Reservation
+	gen uint64
+}
+
+func (c *refCalendar) Len() int { return len(c.res) }
+
+func (c *refCalendar) Gen() uint64 { return c.gen }
+
+func (c *refCalendar) Reservations() []Reservation {
+	return append([]Reservation(nil), c.res...)
+}
+
+func (c *refCalendar) ConflictWith(iv simtime.Interval) (Reservation, bool) {
+	if iv.Empty() {
+		return Reservation{}, false
+	}
+	for _, r := range c.res {
+		if r.Interval.End <= iv.Start {
+			continue
+		}
+		if r.Interval.Overlaps(iv) {
+			return r, true
+		}
+		break
+	}
+	return Reservation{}, false
+}
+
+func (c *refCalendar) ConflictsWith(iv simtime.Interval) []Reservation {
+	var out []Reservation
+	if iv.Empty() {
+		return nil
+	}
+	for _, r := range c.res {
+		if r.Interval.Start >= iv.End {
+			break
+		}
+		if r.Interval.Overlaps(iv) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (c *refCalendar) Free(iv simtime.Interval) bool {
+	_, busy := c.ConflictWith(iv)
+	return !busy
+}
+
+func (c *refCalendar) Reserve(iv simtime.Interval, owner Owner) error {
+	if iv.Empty() {
+		return fmt.Errorf("%w: %v", ErrEmptyInterval, iv)
+	}
+	if existing, busy := c.ConflictWith(iv); busy {
+		return &ErrConflict{Wanted: iv, Existing: existing}
+	}
+	i := 0
+	for i < len(c.res) && c.res[i].Interval.Start < iv.Start {
+		i++
+	}
+	c.res = append(c.res, Reservation{})
+	copy(c.res[i+1:], c.res[i:])
+	c.res[i] = Reservation{Interval: iv, Owner: owner}
+	c.gen++
+	return nil
+}
+
+func (c *refCalendar) Release(iv simtime.Interval, owner Owner) bool {
+	for i, r := range c.res {
+		if r.Interval == iv && r.Owner == owner {
+			c.res = append(c.res[:i], c.res[i+1:]...)
+			c.gen++
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refCalendar) ReleaseOwner(owner Owner) int {
+	out := c.res[:0]
+	removed := 0
+	for _, r := range c.res {
+		if r.Owner == owner {
+			removed++
+			continue
+		}
+		out = append(out, r)
+	}
+	c.res = out
+	if removed > 0 {
+		c.gen++
+	}
+	return removed
+}
+
+func (c *refCalendar) ReleaseJob(job string) int {
+	out := c.res[:0]
+	removed := 0
+	for _, r := range c.res {
+		if r.Owner.Job == job {
+			removed++
+			continue
+		}
+		out = append(out, r)
+	}
+	c.res = out
+	if removed > 0 {
+		c.gen++
+	}
+	return removed
+}
+
+func (c *refCalendar) FirstFree(earliest, length, horizon simtime.Time) (simtime.Time, bool) {
+	if length <= 0 || earliest >= horizon {
+		return 0, false
+	}
+	t := earliest
+	for _, r := range c.res {
+		if r.Interval.End <= t {
+			continue
+		}
+		if r.Interval.Start >= t+length {
+			break
+		}
+		t = r.Interval.End
+	}
+	if t+length <= horizon {
+		return t, true
+	}
+	return 0, false
+}
+
+func (c *refCalendar) FreeWindows(span simtime.Interval) []simtime.Interval {
+	busy := simtime.NewSet()
+	for _, r := range c.res {
+		busy.Add(r.Interval)
+	}
+	return busy.Complement(span).Intervals()
+}
+
+func (c *refCalendar) BusyIn(span simtime.Interval) simtime.Time {
+	var total simtime.Time
+	for _, r := range c.res {
+		total += r.Interval.Intersect(span).Len()
+	}
+	return total
+}
+
+func (c *refCalendar) UtilizationIn(span simtime.Interval) float64 {
+	if span.Len() == 0 {
+		return 0
+	}
+	return float64(c.BusyIn(span)) / float64(span.Len())
+}
+
+func (c *refCalendar) PruneBefore(t simtime.Time) int {
+	kept := c.res[:0]
+	removed := 0
+	for _, r := range c.res {
+		if r.Interval.End <= t {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	c.res = kept
+	if removed > 0 {
+		c.gen++
+	}
+	return removed
+}
+
+func (c *refCalendar) Void() []Reservation {
+	out := c.res
+	c.res = nil
+	if len(out) > 0 {
+		c.gen++
+	}
+	return out
+}
+
+func (c *refCalendar) Clone() *refCalendar {
+	cp := &refCalendar{res: make([]Reservation, len(c.res)), gen: c.gen}
+	copy(cp.res, c.res)
+	return cp
+}
+
+// failer abstracts *testing.T so the fuzz target can reuse the
+// comparison helpers.
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+func sameReservations(a, b []Reservation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameIntervals(a, b []simtime.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareCalendars cross-examines the indexed calendar against the
+// reference on the full query surface, over a battery of windows derived
+// from the current book plus the probe values supplied by the driver.
+func compareCalendars(t failer, step int, c *Calendar, ref *refCalendar, probes []simtime.Time) {
+	t.Helper()
+	if c.Len() != ref.Len() {
+		t.Fatalf("step %d: Len %d != reference %d", step, c.Len(), ref.Len())
+	}
+	if c.Gen() != ref.Gen() {
+		t.Fatalf("step %d: Gen %d != reference %d", step, c.Gen(), ref.Gen())
+	}
+	if !sameReservations(c.Reservations(), ref.Reservations()) {
+		t.Fatalf("step %d: reservation listing diverged:\n  indexed:   %v\n  reference: %v",
+			step, c.Reservations(), ref.Reservations())
+	}
+	spans := make([]simtime.Interval, 0, len(probes)*len(probes)/2+4)
+	for i := 0; i < len(probes); i++ {
+		for j := i; j < len(probes); j++ {
+			spans = append(spans, simtime.Interval{Start: probes[i], End: probes[j]})
+		}
+	}
+	// Edge windows: empty, inverted, and book-straddling.
+	spans = append(spans,
+		simtime.Interval{Start: 0, End: 0},
+		simtime.Interval{Start: 100, End: 50},
+		simtime.Interval{Start: -50, End: 1 << 40},
+	)
+	for _, span := range spans {
+		if got, want := c.ConflictsWith(span), ref.ConflictsWith(span); !sameReservations(got, want) {
+			t.Fatalf("step %d: ConflictsWith(%v) = %v, reference %v", step, span, got, want)
+		}
+		gr, gb := c.ConflictWith(span)
+		wr, wb := ref.ConflictWith(span)
+		if gr != wr || gb != wb {
+			t.Fatalf("step %d: ConflictWith(%v) = (%v,%v), reference (%v,%v)", step, span, gr, gb, wr, wb)
+		}
+		if got, want := c.Free(span), ref.Free(span); got != want {
+			t.Fatalf("step %d: Free(%v) = %v, reference %v", step, span, got, want)
+		}
+		if got, want := c.BusyIn(span), ref.BusyIn(span); got != want {
+			t.Fatalf("step %d: BusyIn(%v) = %d, reference %d", step, span, got, want)
+		}
+		if got, want := c.UtilizationIn(span), ref.UtilizationIn(span); got != want {
+			t.Fatalf("step %d: UtilizationIn(%v) = %v, reference %v", step, span, got, want)
+		}
+		if got, want := c.FreeWindows(span), ref.FreeWindows(span); !sameIntervals(got, want) {
+			t.Fatalf("step %d: FreeWindows(%v) = %v, reference %v", step, span, got, want)
+		}
+	}
+	for _, earliest := range probes {
+		for _, length := range []simtime.Time{0, 1, 3, 17, 64, 1 << 20} {
+			for _, horizon := range []simtime.Time{earliest, earliest + 100, 1 << 30, simtime.Infinity} {
+				gt, gok := c.FirstFree(earliest, length, horizon)
+				wt, wok := ref.FirstFree(earliest, length, horizon)
+				if gt != wt || gok != wok {
+					t.Fatalf("step %d: FirstFree(%d,%d,%d) = (%d,%v), reference (%d,%v)",
+						step, earliest, length, horizon, gt, gok, wt, wok)
+				}
+			}
+		}
+	}
+}
+
+// equivStep applies one randomized operation to both implementations and
+// demands identical mutation results. Returns probe points for the query
+// comparison.
+func equivStep(t failer, step int, r *rng.Source, c *Calendar, ref *refCalendar) (*Calendar, *refCalendar) {
+	t.Helper()
+	owner := func() Owner {
+		return Owner{Job: fmt.Sprintf("job-%d", r.Intn(6)), Task: fmt.Sprintf("t%d", r.Intn(3))}
+	}
+	switch r.Intn(10) {
+	case 0, 1, 2, 3: // Reserve dominates real traffic
+		start := simtime.Time(r.Intn(2000))
+		iv := simtime.Interval{Start: start, End: start + simtime.Time(r.Intn(40))}
+		o := owner()
+		errC, errR := c.Reserve(iv, o), ref.Reserve(iv, o)
+		if (errC == nil) != (errR == nil) {
+			t.Fatalf("step %d: Reserve(%v) err %v, reference %v", step, iv, errC, errR)
+		}
+	case 4: // Release an existing booking (or a miss)
+		res := ref.Reservations()
+		var iv simtime.Interval
+		var o Owner
+		if len(res) > 0 && r.Intn(4) > 0 {
+			pick := res[r.Intn(len(res))]
+			iv, o = pick.Interval, pick.Owner
+		} else {
+			start := simtime.Time(r.Intn(2000))
+			iv, o = simtime.Interval{Start: start, End: start + 5}, owner()
+		}
+		if got, want := c.Release(iv, o), ref.Release(iv, o); got != want {
+			t.Fatalf("step %d: Release(%v) = %v, reference %v", step, iv, got, want)
+		}
+	case 5:
+		o := owner()
+		if got, want := c.ReleaseOwner(o), ref.ReleaseOwner(o); got != want {
+			t.Fatalf("step %d: ReleaseOwner(%v) = %d, reference %d", step, o, got, want)
+		}
+	case 6:
+		job := fmt.Sprintf("job-%d", r.Intn(6))
+		if got, want := c.ReleaseJob(job), ref.ReleaseJob(job); got != want {
+			t.Fatalf("step %d: ReleaseJob(%q) = %d, reference %d", step, job, got, want)
+		}
+	case 7:
+		at := simtime.Time(r.Intn(2200))
+		if got, want := c.PruneBefore(at), ref.PruneBefore(at); got != want {
+			t.Fatalf("step %d: PruneBefore(%d) = %d, reference %d", step, at, got, want)
+		}
+	case 8:
+		got, want := c.Void(), ref.Void()
+		if !sameReservations(got, want) {
+			t.Fatalf("step %d: Void() = %v, reference %v", step, got, want)
+		}
+	case 9: // Clone and continue on the clones (or the originals)
+		cc, rc := c.Clone(), ref.Clone()
+		compareCalendars(t, step, cc, rc, []simtime.Time{0, 100, 500})
+		if r.Intn(2) == 0 {
+			return cc, rc
+		}
+	}
+	return c, ref
+}
+
+func TestCalendarIndexEquivalenceRandomOps(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rng.New(seed)
+			c, ref := NewCalendar(), &refCalendar{}
+			for step := 0; step < 400; step++ {
+				c, ref = equivStep(t, step, r, c, ref)
+				probes := []simtime.Time{
+					0,
+					simtime.Time(r.Intn(2200)),
+					simtime.Time(r.Intn(2200)),
+					simtime.Time(r.Intn(2200)),
+				}
+				compareCalendars(t, step, c, ref, probes)
+			}
+		})
+	}
+}
+
+// TestCalendarIndexSharedSnapshotRace exercises the concurrent pattern
+// the optimistic placer produces: many goroutines cloning one shared
+// snapshot calendar and querying their clones (plus the shared original)
+// while the index is built lazily. Run under -race this proves the
+// atomic index publication is sound; every goroutine must also see
+// identical answers.
+func TestCalendarIndexSharedSnapshotRace(t *testing.T) {
+	shared := NewCalendar()
+	ref := &refCalendar{}
+	r := rng.New(42)
+	for i := 0; i < 200; i++ {
+		start := simtime.Time(r.Intn(4000))
+		iv := simtime.Interval{Start: start, End: start + 1 + simtime.Time(r.Intn(20))}
+		o := Owner{Job: fmt.Sprintf("j%d", i)}
+		errC, errR := shared.Reserve(iv, o), ref.Reserve(iv, o)
+		if (errC == nil) != (errR == nil) {
+			t.Fatalf("setup reserve diverged at %d", i)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gr := rng.New(uint64(1000 + g))
+			for k := 0; k < 50; k++ {
+				cal := shared
+				if k%2 == 0 {
+					cal = shared.Clone()
+				}
+				earliest := simtime.Time(gr.Intn(4200))
+				length := simtime.Time(1 + gr.Intn(30))
+				gt, gok := cal.FirstFree(earliest, length, simtime.Infinity)
+				wt, wok := ref.FirstFree(earliest, length, simtime.Infinity)
+				if gt != wt || gok != wok {
+					errs[g] = fmt.Errorf("goroutine %d: FirstFree(%d,%d) = (%d,%v), reference (%d,%v)",
+						g, earliest, length, gt, gok, wt, wok)
+					return
+				}
+				span := simtime.Interval{Start: earliest, End: earliest + 300}
+				if cal.BusyIn(span) != ref.BusyIn(span) {
+					errs[g] = fmt.Errorf("goroutine %d: BusyIn(%v) diverged", g, span)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFreeWindowsAllocs pins the FreeWindows rewrite: deriving gaps from
+// the sorted slice must not materialize a per-call interval set. One
+// growing output slice is the only permitted allocation (≤ 5 appends'
+// worth of growth for a book with ~32 in-span gaps).
+func TestFreeWindowsAllocs(t *testing.T) {
+	c := NewCalendar()
+	for i := 0; i < 64; i++ {
+		iv := simtime.Interval{Start: simtime.Time(i * 10), End: simtime.Time(i*10 + 5)}
+		if err := c.Reserve(iv, Owner{Job: "j"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	span := simtime.Interval{Start: 0, End: 640}
+	if got := len(c.FreeWindows(span)); got != 64 {
+		t.Fatalf("free windows = %d, want 64", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.FreeWindows(span)
+	})
+	// append-doubling from nil to 64 elements: 1,2,4,...,64 → 7 allocs.
+	if allocs > 8 {
+		t.Fatalf("FreeWindows allocates %.1f objects/op; the slice-derived version must stay ≤ 8", allocs)
+	}
+	// The old implementation built a simtime.Set (64 Add calls, each
+	// allocating a fresh merged slice) — well over 8 allocations. Guard
+	// the dense-probe case too: a span overlapping nothing must not
+	// allocate at all.
+	if allocs := testing.AllocsPerRun(100, func() {
+		c.FreeWindows(simtime.Interval{Start: 10, End: 15})
+	}); allocs != 0 {
+		t.Fatalf("FreeWindows over a fully reserved span allocates %.1f objects/op, want 0", allocs)
+	}
+}

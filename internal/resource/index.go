@@ -1,0 +1,141 @@
+package resource
+
+import (
+	"repro/internal/simtime"
+)
+
+// calIndex is the augmented search structure a Calendar keeps alongside
+// its sorted reservation slice (DESIGN.md §14). It answers the window
+// queries that used to walk the whole book in O(log n):
+//
+//   - prefix holds the cumulative reserved ticks, so BusyIn is two
+//     binary searches plus edge clipping;
+//   - gap is an implicit max-segment-tree over the free gap following
+//     each reservation (gap after the last one is Infinity), so
+//     FirstFree descends to the first sufficiently large gap instead of
+//     scanning every reservation before it.
+//
+// The index is derived data: it is built lazily on first query, thrown
+// away (atomically) by every mutation, and shared by clones — it is
+// immutable once published, so concurrent cloners and readers need no
+// lock. Reservations are sorted by Start and pairwise disjoint, which
+// makes their Ends strictly increasing; every binary search below leans
+// on that invariant.
+type calIndex struct {
+	prefix []simtime.Time // prefix[i] = reserved ticks in res[:i]
+	gap    []simtime.Time // implicit segment tree: max free gap per leaf range
+	size   int            // leaf span of the tree (power of two ≥ n)
+	n      int            // number of reservations indexed
+}
+
+// buildIndex constructs the index for a sorted, disjoint reservation
+// slice.
+func buildIndex(res []Reservation) *calIndex {
+	n := len(res)
+	ix := &calIndex{n: n, prefix: make([]simtime.Time, n+1)}
+	for i, r := range res {
+		ix.prefix[i+1] = ix.prefix[i] + r.Interval.Len()
+	}
+	if n == 0 {
+		return ix
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	ix.size = size
+	ix.gap = make([]simtime.Time, 2*size)
+	for i := 0; i < n-1; i++ {
+		ix.gap[size+i] = res[i+1].Interval.Start - res[i].Interval.End
+	}
+	// The room after the last reservation is unbounded; padding leaves
+	// beyond n keep gap 0, so no positive-length search ever lands there.
+	ix.gap[size+n-1] = simtime.Infinity
+	for i := size - 1; i >= 1; i-- {
+		l, r := ix.gap[2*i], ix.gap[2*i+1]
+		if l >= r {
+			ix.gap[i] = l
+		} else {
+			ix.gap[i] = r
+		}
+	}
+	return ix
+}
+
+// firstGapAtLeast returns the smallest j ≥ from whose following gap is at
+// least length, or -1 when no such gap exists (possible only when length
+// exceeds Infinity).
+func (ix *calIndex) firstGapAtLeast(from int, length simtime.Time) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= ix.n {
+		return -1
+	}
+	i := ix.size + from
+	for {
+		if ix.gap[i] >= length {
+			// Descend to the leftmost qualifying leaf of this subtree.
+			for i < ix.size {
+				i <<= 1
+				if ix.gap[i] < length {
+					i++
+				}
+			}
+			j := i - ix.size
+			if j >= ix.n {
+				return -1 // padding leaf; unreachable for length > 0
+			}
+			return j
+		}
+		// Climb to the lowest ancestor that has an unvisited right
+		// sibling, then step into it. Reaching the root means every gap
+		// at or after `from` is too small.
+		for i&1 == 1 {
+			i >>= 1
+		}
+		if i <= 1 {
+			return -1
+		}
+		i++
+	}
+}
+
+// busyIn returns the reserved ticks of res that fall inside span, using
+// the prefix sums: whole-sum of the overlapped run minus the clipped
+// edges.
+func (ix *calIndex) busyIn(res []Reservation, span simtime.Interval) simtime.Time {
+	if span.Empty() || ix.n == 0 {
+		return 0
+	}
+	// a: first reservation ending after span.Start (Ends are strictly
+	// increasing). b: first reservation starting at or after span.End.
+	a := searchRes(res, func(r *Reservation) bool { return r.Interval.End > span.Start })
+	b := searchRes(res, func(r *Reservation) bool { return r.Interval.Start >= span.End })
+	if a >= b {
+		return 0
+	}
+	total := ix.prefix[b] - ix.prefix[a]
+	if head := res[a].Interval.Start; head < span.Start {
+		total -= span.Start - head
+	}
+	if tail := res[b-1].Interval.End; tail > span.End {
+		total -= tail - span.End
+	}
+	return total
+}
+
+// searchRes is sort.Search specialized to the reservation slice; pred
+// must be monotone over the sorted slice.
+func searchRes(res []Reservation, pred func(*Reservation) bool) int {
+	lo, hi := 0, len(res)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pred(&res[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,59 @@
+package strategy
+
+import (
+	"repro/internal/criticalworks"
+	"repro/internal/telemetry"
+)
+
+// RepairMetrics holds the incremental-repair counters (DESIGN.md §14),
+// shared by the generation sweep (deeper levels repaired from the first
+// level's memo) and the metascheduler's fallback path. A nil receiver —
+// repair disabled, or telemetry off — makes every observation a no-op.
+// Every level build that goes through the repair decision lands in exactly
+// one of hits/splices/fullRebuilds; misses counts memo validations that
+// found the memo stale along the way (there can be several per build).
+type RepairMetrics struct {
+	hits         *telemetry.Counter
+	misses       *telemetry.Counter
+	splices      *telemetry.Counter
+	fullRebuilds *telemetry.Counter
+}
+
+// NewRepairMetrics registers the grid_repair_* counters.
+func NewRepairMetrics(reg *telemetry.Registry) *RepairMetrics {
+	return &RepairMetrics{
+		hits: reg.Counter("grid_repair_hits_total",
+			"level builds served by replaying a memoized build whole"),
+		misses: reg.Counter("grid_repair_misses_total",
+			"repair memo validations that found the memo stale"),
+		splices: reg.Counter("grid_repair_splices_total",
+			"level builds that replayed a prefix and re-solved the rest"),
+		fullRebuilds: reg.Counter("grid_repair_full_rebuilds_total",
+			"repair-eligible level builds that ran the full critical-works build"),
+	}
+}
+
+// Observe records one repair attempt's outcome: a replay or splice is
+// terminal, a stale validation is a miss (the caller then either tries
+// another memo or falls back to the full build, recording FullRebuild).
+func (rm *RepairMetrics) Observe(outcome criticalworks.RepairOutcome) {
+	if rm == nil {
+		return
+	}
+	switch outcome {
+	case criticalworks.RepairReplayed:
+		rm.hits.Inc()
+	case criticalworks.RepairSpliced:
+		rm.splices.Inc()
+	default:
+		rm.misses.Inc()
+	}
+}
+
+// FullRebuild records a repair-eligible build that fell through to the
+// full critical-works run.
+func (rm *RepairMetrics) FullRebuild() {
+	if rm != nil {
+		rm.fullRebuilds.Inc()
+	}
+}
